@@ -1,0 +1,34 @@
+"""Figure 7: benefit of type- and effect-guidance.
+
+For a representative subset of benchmarks (``REPRO_BENCH_SUBSET``), measure
+synthesis under the four guidance modes.  The expected shape matches the
+paper: full guidance solves everything, disabling guidance causes timeouts
+(a timed-out run simply reports the timeout value as its duration and is
+marked ``success=False`` in the extra info).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import MODE_TIMEOUT_S, SUBSET
+from repro.benchmarks import get_benchmark, run_benchmark
+from repro.evaluation.table1 import MODE_FACTORIES
+
+MODES = ("full", "types_only", "effects_only", "unguided")
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("benchmark_id", SUBSET)
+def test_figure7_guidance_modes(benchmark, benchmark_id, mode):
+    spec = get_benchmark(benchmark_id)
+    config = MODE_FACTORIES[mode](timeout_s=MODE_TIMEOUT_S)
+
+    def run():
+        return run_benchmark(spec, config, runs=1)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["benchmark"] = benchmark_id
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["success"] = result.success
+    benchmark.extra_info["timed_out"] = result.timed_out

@@ -1,0 +1,31 @@
+"""Figure 8: effect annotation precision vs. synthesis performance.
+
+For the benchmark subset, measure synthesis under precise / class / purity
+effect annotations.  Coarser annotations should never beat precise ones by
+much and should cause additional timeouts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import MODE_TIMEOUT_S, SUBSET
+from repro.benchmarks import get_benchmark, run_benchmark
+from repro.lang.effects import PRECISIONS
+from repro.synth.config import SynthConfig
+
+
+@pytest.mark.parametrize("precision", PRECISIONS)
+@pytest.mark.parametrize("benchmark_id", SUBSET)
+def test_figure8_effect_precision(benchmark, benchmark_id, precision):
+    spec = get_benchmark(benchmark_id)
+    config = SynthConfig.full(timeout_s=MODE_TIMEOUT_S, effect_precision=precision)
+
+    def run():
+        return run_benchmark(spec, config, runs=1)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["benchmark"] = benchmark_id
+    benchmark.extra_info["precision"] = precision
+    benchmark.extra_info["success"] = result.success
+    benchmark.extra_info["timed_out"] = result.timed_out

@@ -1,0 +1,35 @@
+"""Table 1: synthesis time for every benchmark with full type-and-effect
+guidance.
+
+One pytest-benchmark entry per benchmark of the paper's Table 1.  The
+reported statistic corresponds to the paper's "Time" column (median over
+runs); method size and path counts are attached as extra info so the JSON
+output can be compared against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TIMEOUT_S
+from repro.benchmarks import all_benchmarks, run_benchmark
+from repro.synth.config import SynthConfig
+
+
+@pytest.mark.parametrize("benchmark_spec", all_benchmarks(), ids=lambda b: b.id)
+def test_table1_synthesis_time(benchmark, benchmark_spec):
+    config = SynthConfig.full(timeout_s=TIMEOUT_S)
+
+    def run():
+        return run_benchmark(benchmark_spec, config, runs=1)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["benchmark"] = benchmark_spec.id
+    benchmark.extra_info["success"] = result.success
+    benchmark.extra_info["meth_size"] = result.meth_size
+    benchmark.extra_info["syn_paths"] = result.syn_paths
+    benchmark.extra_info["lib_methods"] = result.lib_methods
+    benchmark.extra_info["paper_time_s"] = benchmark_spec.paper.time_s
+    benchmark.extra_info["paper_meth_size"] = benchmark_spec.paper.meth_size
+    benchmark.extra_info["paper_syn_paths"] = benchmark_spec.paper.syn_paths
+    assert result.success, f"{benchmark_spec.id} failed to synthesize"

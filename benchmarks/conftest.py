@@ -1,0 +1,30 @@
+"""Configuration shared by the pytest-benchmark harnesses.
+
+Environment variables:
+
+* ``REPRO_BENCH_TIMEOUT``       -- per-synthesis timeout in seconds (default 60);
+* ``REPRO_BENCH_MODE_TIMEOUT``  -- timeout for the guidance-mode and precision
+  sweeps (default 15; these sweeps exist to show *where* timeouts happen);
+* ``REPRO_BENCH_SUBSET``        -- comma-separated benchmark ids to restrict
+  the figure sweeps (default: a representative subset so a full
+  ``pytest benchmarks/ --benchmark-only`` run stays in the minutes range).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+TIMEOUT_S = float(os.environ.get("REPRO_BENCH_TIMEOUT", 60.0))
+MODE_TIMEOUT_S = float(os.environ.get("REPRO_BENCH_MODE_TIMEOUT", 15.0))
+SUBSET = [
+    b.strip()
+    for b in os.environ.get(
+        "REPRO_BENCH_SUBSET", "S1,S4,S5,S6,S7,A1,A7,A9,A11"
+    ).split(",")
+    if b.strip()
+]

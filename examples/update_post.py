@@ -1,0 +1,37 @@
+"""The paper's overview example (Figures 1 and 2): synthesizing update_post.
+
+The specification says that a post's author may change its title, while other
+users must not be able to change anything.  RbSyn synthesizes a method that
+branches on ``Post.exists?(author:, slug:)``, updates the title in the then
+branch and merely returns the post in the else branch.
+
+Run with::
+
+    python examples/update_post.py
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import get_benchmark
+from repro.synth import SynthConfig, synthesize
+
+
+def main() -> None:
+    benchmark = get_benchmark("S6")  # "overview (ext)"
+    problem = benchmark.build()
+    config = benchmark.make_config(SynthConfig(timeout_s=120))
+
+    result = synthesize(problem, config)
+    print(f"benchmark : {benchmark.id} {benchmark.name}")
+    print(f"specs     : {len(problem.specs)}")
+    print(f"library   : {problem.library_method_count()} methods")
+    print(f"time      : {result.elapsed_s:.2f}s")
+    print(f"meth size : {result.method_size} AST nodes "
+          f"(paper: {benchmark.paper.meth_size})")
+    print(f"paths     : {result.paths} (paper: {benchmark.paper.syn_paths})\n")
+    print(result.pretty())
+    assert result.success
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so ``pip install -e .`` works without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+legacy editable installs (``pip install -e . --no-use-pep517``) in offline
+environments that lack PEP 660 build requirements.
+"""
+
+from setuptools import setup
+
+setup()

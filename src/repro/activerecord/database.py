@@ -1,0 +1,149 @@
+"""A minimal in-memory relational store backing the ORM substrate.
+
+Tables are named collections of rows; rows are plain ``dict`` objects with an
+auto-assigned integer ``id``.  The database exposes exactly the operations
+the ORM layer needs (insert/select/update/delete/count) plus ``reset``, the
+hook RbSyn uses to give every candidate program a clean slate (Section 4,
+"optional hooks for resetting the global state").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+
+class Table:
+    """One table: insertion-ordered rows keyed by integer id."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.rows: Dict[int, Dict[str, Any]] = {}
+        self.next_id = 1
+
+    def insert(self, values: Dict[str, Any]) -> Dict[str, Any]:
+        row = dict(values)
+        row["id"] = self.next_id
+        self.rows[self.next_id] = row
+        self.next_id += 1
+        return dict(row)
+
+    def get(self, row_id: int) -> Optional[Dict[str, Any]]:
+        row = self.rows.get(row_id)
+        return dict(row) if row is not None else None
+
+    def update(self, row_id: int, values: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        row = self.rows.get(row_id)
+        if row is None:
+            return None
+        row.update(values)
+        return dict(row)
+
+    def delete(self, row_id: int) -> bool:
+        return self.rows.pop(row_id, None) is not None
+
+    def all(self) -> List[Dict[str, Any]]:
+        return [dict(row) for row in self.rows.values()]
+
+    def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> List[Dict[str, Any]]:
+        return [dict(row) for row in self.rows.values() if predicate(row)]
+
+    def clear(self) -> None:
+        self.rows.clear()
+        self.next_id = 1
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.all())
+
+
+class Database:
+    """A named collection of tables with a reset hook."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._globals: Dict[str, Any] = {}
+
+    # -- tables ---------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        table = self._tables.get(name)
+        if table is None:
+            table = Table(name)
+            self._tables[name] = table
+        return table
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def insert(self, table: str, **values: Any) -> Dict[str, Any]:
+        return self.table(table).insert(values)
+
+    def get(self, table: str, row_id: int) -> Optional[Dict[str, Any]]:
+        return self.table(table).get(row_id)
+
+    def update(self, table: str, row_id: int, **values: Any) -> Optional[Dict[str, Any]]:
+        return self.table(table).update(row_id, values)
+
+    def delete(self, table: str, row_id: int) -> bool:
+        return self.table(table).delete(row_id)
+
+    def all(self, table: str) -> List[Dict[str, Any]]:
+        return self.table(table).all()
+
+    def select(
+        self, table: str, predicate: Callable[[Dict[str, Any]], bool]
+    ) -> List[Dict[str, Any]]:
+        return self.table(table).select(predicate)
+
+    def where(self, table: str, conditions: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Rows matching an equality conjunction over ``conditions``."""
+
+        def matches(row: Dict[str, Any]) -> bool:
+            return all(row.get(col) == value for col, value in conditions.items())
+
+        return self.table(table).select(matches)
+
+    def count(self, table: str, conditions: Optional[Dict[str, Any]] = None) -> int:
+        if not conditions:
+            return len(self.table(table))
+        return len(self.where(table, conditions))
+
+    # -- global key/value state (SiteSetting-style globals) -------------------
+
+    def get_global(self, key: str, default: Any = None) -> Any:
+        return self._globals.get(key, default)
+
+    def set_global(self, key: str, value: Any) -> Any:
+        self._globals[key] = value
+        return value
+
+    def delete_global(self, key: str) -> None:
+        self._globals.pop(key, None)
+
+    def globals(self) -> Dict[str, Any]:
+        return dict(self._globals)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear every table and global; used before each spec run."""
+
+        for table in self._tables.values():
+            table.clear()
+        self._globals.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep-ish copy of the database state, used by tests."""
+
+        return {
+            "tables": {
+                name: [dict(row) for row in table.all()]
+                for name, table in self._tables.items()
+            },
+            "globals": dict(self._globals),
+        }
+
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self._tables.values())

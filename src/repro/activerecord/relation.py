@@ -1,0 +1,142 @@
+"""Lazy query relations, the result of ``Model.where``.
+
+A relation stores a conjunction of equality conditions plus an optional
+ordering and limit; it only touches the database when materialized (``first``,
+``to_a``, ``count``, ``exists?`` ...).  Materializing operations log a
+class-level read effect on the underlying model, matching the coarse
+``Post`` annotation the paper gives to ``Post.where`` results (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Type
+
+from repro.lang.effects import Effect
+from repro.interp.effect_log import log_effect
+from repro.interp.errors import SynRuntimeError
+from repro.activerecord.model import Model
+
+
+class Relation:
+    """A lazily evaluated query over one model's table."""
+
+    def __init__(
+        self,
+        model_cls: Type[Model],
+        conditions: Optional[Dict[str, Any]] = None,
+        order_column: Optional[str] = None,
+        descending: bool = False,
+        limit_count: Optional[int] = None,
+    ) -> None:
+        self.model_cls = model_cls
+        self.conditions = dict(conditions or {})
+        self.order_column = order_column
+        self.descending = descending
+        self.limit_count = limit_count
+
+    # -- class-table integration ------------------------------------------------
+
+    def syn_class_name(self) -> str:
+        return f"{self.model_cls.model_name}Relation"
+
+    # -- chaining -----------------------------------------------------------------
+
+    def where(self, **conditions: Any) -> "Relation":
+        self.model_cls._check_columns(conditions)
+        self._log_read()
+        merged = dict(self.conditions)
+        merged.update(conditions)
+        return Relation(
+            self.model_cls, merged, self.order_column, self.descending, self.limit_count
+        )
+
+    def order(self, column: str, descending: bool = False) -> "Relation":
+        if column not in self.model_cls.columns():
+            raise SynRuntimeError(
+                f"unknown order column {column!r} for {self.model_cls.model_name}"
+            )
+        return Relation(self.model_cls, self.conditions, column, descending, self.limit_count)
+
+    def limit(self, count: int) -> "Relation":
+        return Relation(
+            self.model_cls, self.conditions, self.order_column, self.descending, count
+        )
+
+    # -- materialization -----------------------------------------------------------
+
+    def _log_read(self) -> None:
+        log_effect(read=Effect.region(self.model_cls.model_name))
+
+    def _rows(self) -> List[Dict[str, Any]]:
+        db = self.model_cls.database()
+        rows = db.where(self.model_cls.table_name, self.conditions)
+        if self.order_column is not None:
+            rows.sort(key=lambda r: (r.get(self.order_column) is None, r.get(self.order_column)))
+            if self.descending:
+                rows.reverse()
+        if self.limit_count is not None:
+            rows = rows[: self.limit_count]
+        return rows
+
+    def to_a(self) -> List[Model]:
+        self._log_read()
+        return [self.model_cls(row) for row in self._rows()]
+
+    def first(self) -> Optional[Model]:
+        self._log_read()
+        rows = self._rows()
+        return self.model_cls(rows[0]) if rows else None
+
+    def last(self) -> Optional[Model]:
+        self._log_read()
+        rows = self._rows()
+        return self.model_cls(rows[-1]) if rows else None
+
+    def exists(self, **conditions: Any) -> bool:
+        self._log_read()
+        if conditions:
+            return bool(self.where(**conditions)._rows())
+        return bool(self._rows())
+
+    def count(self) -> int:
+        self._log_read()
+        return len(self._rows())
+
+    def empty(self) -> bool:
+        self._log_read()
+        return not self._rows()
+
+    def pluck(self, column: str) -> List[Any]:
+        if column not in self.model_cls.columns():
+            raise SynRuntimeError(
+                f"unknown column {column!r} for {self.model_cls.model_name}"
+            )
+        log_effect(read=Effect.region(self.model_cls.model_name, column))
+        return [row.get(column) for row in self._rows()]
+
+    def update_all(self, **values: Any) -> int:
+        self.model_cls._check_columns(values)
+        log_effect(write=Effect.region(self.model_cls.model_name))
+        rows = self._rows()
+        db = self.model_cls.database()
+        for row in rows:
+            db.update(self.model_cls.table_name, row["id"], **values)
+        return len(rows)
+
+    def delete_all(self) -> int:
+        log_effect(write=Effect.region(self.model_cls.model_name))
+        rows = self._rows()
+        db = self.model_cls.database()
+        for row in rows:
+            db.delete(self.model_cls.table_name, row["id"])
+        return len(rows)
+
+    def __iter__(self) -> Iterator[Model]:
+        return iter(self.to_a())
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __repr__(self) -> str:
+        conds = ", ".join(f"{k}: {v!r}" for k, v in self.conditions.items())
+        return f"#<{self.syn_class_name()} where({conds})>"

@@ -1,0 +1,24 @@
+"""Benchmark application substrates.
+
+The paper's app benchmarks come from three large Rails applications
+(Discourse, Gitlab, Diaspora) plus a small blogging app used in the overview.
+We do not vendor those applications; instead each module here re-creates the
+slice of the app a benchmark needs -- the model schemas, the library methods
+the synthesized code calls, and the global settings stores -- following the
+descriptions in Sections 2 and 5.1.  Every ``build_*`` function returns a
+fresh :class:`~repro.apps.base.AppContext` so benchmark runs are isolated.
+"""
+
+from repro.apps.base import AppContext
+from repro.apps.blog import build_blog_app
+from repro.apps.discourse import build_discourse_app
+from repro.apps.gitlab import build_gitlab_app
+from repro.apps.diaspora import build_diaspora_app
+
+__all__ = [
+    "AppContext",
+    "build_blog_app",
+    "build_discourse_app",
+    "build_gitlab_app",
+    "build_diaspora_app",
+]

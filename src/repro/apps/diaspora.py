@@ -1,0 +1,97 @@
+"""A Diaspora-like substrate for benchmarks A9-A12.
+
+Diaspora [9] is a distributed social network built from federated "pods".
+The paper's Diaspora benchmarks synthesize ``Pod#schedule_check`` (flagging a
+pod for a connectivity re-check), ``User#process_invite_acceptance``
+(recording who invited a new user), ``InvitationCode#use!`` (decrementing an
+invitation code's remaining count -- the paper's example of a precise
+``InvitationCode.count`` effect region) and ``User#confirm_email``.
+"""
+
+from __future__ import annotations
+
+from repro.lang import types as T
+from repro.activerecord import Database, create_model, register_model
+from repro.apps.base import AppContext
+from repro.corelib import register_corelib
+from repro.typesys.class_table import ClassTable
+
+
+def build_diaspora_app() -> AppContext:
+    db = Database()
+    ct = ClassTable()
+    register_corelib(ct)
+
+    pod = create_model(
+        "Pod",
+        {
+            "host": T.STRING,
+            "status": T.STRING,
+            "checked_at": T.STRING,
+            "offline_since": T.STRING,
+        },
+        database=db,
+    )
+    user = create_model(
+        "User",
+        {
+            "username": T.STRING,
+            "email": T.STRING,
+            "unconfirmed_email": T.STRING,
+            "confirm_email_token": T.STRING,
+            "invited_by_id": T.INT,
+            "language": T.STRING,
+        },
+        database=db,
+    )
+    invitation_code = create_model(
+        "InvitationCode",
+        {
+            "token": T.STRING,
+            "user_id": T.INT,
+            "count": T.INT,
+        },
+        database=db,
+    )
+
+    register_model(ct, pod)
+    register_model(ct, user)
+    register_model(ct, invitation_code)
+
+    return AppContext(
+        name="diaspora",
+        database=db,
+        class_table=ct,
+        models={"Pod": pod, "User": user, "InvitationCode": invitation_code},
+    )
+
+
+def seed_pods(app: AppContext) -> None:
+    pod = app.models["Pod"]
+    pod.create(host="pod-a.example.org", status="online", checked_at="today", offline_since=None)
+    pod.create(host="pod-b.example.org", status="offline", checked_at="last week", offline_since="last week")
+    pod.create(host="pod-c.example.org", status="offline", checked_at="yesterday", offline_since="yesterday")
+
+
+def seed_invitations(app: AppContext) -> None:
+    user = app.models["User"]
+    code = app.models["InvitationCode"]
+    # A first unrelated account keeps the inviter's id from colliding with the
+    # small integer constants available to the synthesizer.
+    user.create(
+        username="bystander",
+        email="bystander@pod.example.org",
+        unconfirmed_email=None,
+        confirm_email_token=None,
+        invited_by_id=None,
+        language="en",
+    )
+    inviter = user.create(
+        username="inviter",
+        email="inviter@pod.example.org",
+        unconfirmed_email=None,
+        confirm_email_token=None,
+        invited_by_id=None,
+        language="en",
+    )
+    code.create(token="INVITE42", user_id=inviter.id, count=10)

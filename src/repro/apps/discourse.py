@@ -1,0 +1,111 @@
+"""A Discourse-like substrate for benchmarks A1-A4.
+
+Discourse [23] is a Rails discussion platform.  The paper's Discourse
+benchmarks synthesize effectful methods of its ``User`` model: clearing the
+global notice banner, activating an account, unstaging a placeholder account
+created for email integration, and looking up the site-contact user.  We
+re-create the slice those methods touch:
+
+* ``User`` -- accounts with ``active`` / ``staged`` / ``approved`` / ``admin``
+  flags and a ``trust_level``;
+* ``EmailToken`` -- email confirmation tokens tied to a user;
+* ``SiteSetting`` -- the global settings store (``global_notice``,
+  ``site_contact_username``, ``contact_email``).
+"""
+
+from __future__ import annotations
+
+from repro.lang import types as T
+from repro.activerecord import Database, create_model, register_model
+from repro.apps.base import AppContext
+from repro.corelib import register_corelib
+from repro.corelib.kvstore import make_kvstore, register_kvstore
+from repro.typesys.class_table import ClassTable
+
+
+def build_discourse_app() -> AppContext:
+    db = Database()
+    ct = ClassTable()
+    register_corelib(ct)
+
+    user = create_model(
+        "User",
+        {
+            "username": T.STRING,
+            "name": T.STRING,
+            "email": T.STRING,
+            "active": T.BOOL,
+            "staged": T.BOOL,
+            "approved": T.BOOL,
+            "admin": T.BOOL,
+            "trust_level": T.INT,
+        },
+        database=db,
+    )
+    email_token = create_model(
+        "EmailToken",
+        {
+            "user_id": T.INT,
+            "token": T.STRING,
+            "confirmed": T.BOOL,
+            "expired": T.BOOL,
+        },
+        database=db,
+    )
+    site_setting = make_kvstore(
+        "SiteSetting",
+        {
+            "global_notice": T.STRING,
+            "site_contact_username": T.STRING,
+            "contact_email": T.STRING,
+        },
+        database=db,
+    )
+
+    register_model(ct, user)
+    register_model(ct, email_token)
+    register_kvstore(ct, site_setting)
+
+    return AppContext(
+        name="discourse",
+        database=db,
+        class_table=ct,
+        models={"User": user, "EmailToken": email_token},
+        stores={"SiteSetting": site_setting},
+    )
+
+
+def seed_users(app: AppContext) -> None:
+    """A small population of accounts used by the A1-A4 specs."""
+
+    user = app.models["User"]
+    user.create(
+        username="admin_user",
+        name="Admin",
+        email="admin@example.com",
+        active=True,
+        staged=False,
+        approved=True,
+        admin=True,
+        trust_level=4,
+    )
+    user.create(
+        username="member",
+        name="Member",
+        email="member@example.com",
+        active=True,
+        staged=False,
+        approved=True,
+        admin=False,
+        trust_level=1,
+    )
+    user.create(
+        username="newbie",
+        name="Newbie",
+        email="newbie@example.com",
+        active=False,
+        staged=False,
+        approved=False,
+        admin=False,
+        trust_level=0,
+    )

@@ -1,0 +1,129 @@
+"""A Gitlab-like substrate for benchmarks A5-A8.
+
+Gitlab [18] is a Rails-based Git repository manager.  The paper's Gitlab
+benchmarks synthesize ``Discussion#build`` (creating a discussion record),
+``User#disable_two_factor!`` (clearing every two-factor column of a user) and
+the ``Issue#close`` / ``Issue#reopen`` state transitions (the original app
+drives these through the ``state_machine`` gem; RbSyn -- and this
+reproduction -- synthesizes direct implementations that work without it).
+"""
+
+from __future__ import annotations
+
+from repro.lang import types as T
+from repro.activerecord import Database, create_model, register_model
+from repro.apps.base import AppContext
+from repro.corelib import register_corelib
+from repro.typesys.class_table import ClassTable
+
+
+def build_gitlab_app() -> AppContext:
+    db = Database()
+    ct = ClassTable()
+    register_corelib(ct)
+
+    user = create_model(
+        "User",
+        {
+            "username": T.STRING,
+            "email": T.STRING,
+            "otp_required_for_login": T.BOOL,
+            "otp_secret": T.STRING,
+            "otp_backup_codes": T.STRING,
+            "two_factor_enabled": T.BOOL,
+        },
+        database=db,
+    )
+    issue = create_model(
+        "Issue",
+        {
+            "title": T.STRING,
+            "author": T.STRING,
+            "state": T.STRING,
+            "closed_at": T.STRING,
+            "project_id": T.INT,
+        },
+        database=db,
+    )
+    discussion = create_model(
+        "Discussion",
+        {
+            "noteable_id": T.INT,
+            "project_id": T.INT,
+            "resolved": T.BOOL,
+        },
+        database=db,
+    )
+    note = create_model(
+        "Note",
+        {
+            "discussion_id": T.INT,
+            "author": T.STRING,
+            "body": T.STRING,
+        },
+        database=db,
+    )
+
+    register_model(ct, user)
+    register_model(ct, issue)
+    register_model(ct, discussion)
+    register_model(ct, note)
+
+    return AppContext(
+        name="gitlab",
+        database=db,
+        class_table=ct,
+        models={"User": user, "Issue": issue, "Discussion": discussion, "Note": note},
+    )
+
+
+def seed_issues(app: AppContext) -> None:
+    """A few issues in both states, used by the A7/A8 specs."""
+
+    # The first row is deliberately neither the issue A7 closes nor the one
+    # A8 reopens, so degenerate candidates like ``Issue.first`` fail.
+    issue = app.models["Issue"]
+    issue.create(
+        title="Tracking issue",
+        author="carol",
+        state="opened",
+        closed_at=None,
+        project_id=2,
+    )
+    issue.create(
+        title="Fix docs",
+        author="bob",
+        state="closed",
+        closed_at="yesterday",
+        project_id=1,
+    )
+    issue.create(
+        title="Crash on startup",
+        author="alice",
+        state="opened",
+        closed_at=None,
+        project_id=1,
+    )
+
+
+def seed_two_factor_user(app: AppContext) -> int:
+    """One user with every two-factor column populated; returns their id."""
+
+    user = app.models["User"]
+    user.create(
+        username="first_user",
+        email="first@example.com",
+        otp_required_for_login=False,
+        otp_secret=None,
+        otp_backup_codes=None,
+        two_factor_enabled=False,
+    )
+    record = user.create(
+        username="secure",
+        email="secure@example.com",
+        otp_required_for_login=True,
+        otp_secret="s3cr3t",
+        otp_backup_codes="codes",
+        two_factor_enabled=True,
+    )
+    return record.id

@@ -1,0 +1,34 @@
+"""The paper's 19-benchmark suite (Table 1).
+
+``repro.benchmarks.registry`` holds the registry of
+:class:`~repro.benchmarks.registry.BenchmarkSpec` entries; the per-app
+modules (:mod:`synthetic`, :mod:`discourse`, :mod:`gitlab`,
+:mod:`diaspora`) populate it at import time.  Every benchmark records the
+paper's reported numbers so the evaluation harness can print paper-vs-measured
+comparisons, and every build function constructs a fresh, isolated app
+substrate plus synthesis problem.
+"""
+
+from repro.benchmarks.registry import (
+    BenchmarkSpec,
+    PaperReference,
+    all_benchmarks,
+    get_benchmark,
+)
+
+# Importing the definition modules populates the registry.
+from repro.benchmarks import synthetic as _synthetic  # noqa: F401,E402
+from repro.benchmarks import discourse as _discourse  # noqa: F401,E402
+from repro.benchmarks import gitlab as _gitlab  # noqa: F401,E402
+from repro.benchmarks import diaspora as _diaspora  # noqa: F401,E402
+
+from repro.benchmarks.runner import BenchmarkResult, run_benchmark
+
+__all__ = [
+    "BenchmarkSpec",
+    "PaperReference",
+    "all_benchmarks",
+    "get_benchmark",
+    "BenchmarkResult",
+    "run_benchmark",
+]

@@ -1,0 +1,325 @@
+"""Discourse benchmarks A1-A4 (Table 1, "Discourse" group).
+
+The original benchmarks extract methods of Discourse's ``User`` model and
+derive specs from the app's unit tests.  We do not have Discourse's source,
+so each benchmark below re-creates the described behaviour on the
+Discourse-like substrate of :mod:`repro.apps.discourse`:
+
+* **A1  User#clear_global_notice** -- an admin action clears the global
+  notice banner (a ``SiteSetting`` write) and reports whether it did;
+* **A2  User#activate** -- activating an account flips ``active`` and
+  confirms the pending email token, but only when such a token exists;
+* **A3  User#unstage** -- a staged placeholder account is turned into a real
+  one (several column writes); non-staged lookups return ``nil``;
+* **A4  User#check_site_contact** -- return the configured site-contact user,
+  falling back to an admin when the setting is empty.
+"""
+
+from __future__ import annotations
+
+from repro.apps.discourse import build_discourse_app, seed_users
+from repro.benchmarks.registry import (
+    BenchmarkSpec,
+    PaperReference,
+    register_benchmark,
+)
+from repro.benchmarks.synthetic import BASE_CONSTANTS
+from repro.synth.dsl import define
+from repro.synth.goal import SynthesisProblem
+
+
+# ---------------------------------------------------------------------------
+# A1 User#clear_global_notice
+# ---------------------------------------------------------------------------
+
+
+def build_a1() -> SynthesisProblem:
+    app = build_discourse_app()
+    User = app.models["User"]
+    SiteSetting = app.stores["SiteSetting"]
+    problem = define(
+        "clear_global_notice",
+        "(Str) -> Bool",
+        consts=BASE_CONSTANTS + (User, SiteSetting),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup_admin(ctx):
+        seed_users(app)
+        SiteSetting.set("global_notice", "maintenance window at noon")
+        ctx.invoke("admin_user")
+
+    def postcond_admin(ctx, result):
+        ctx.assert_(lambda: result is True)
+        ctx.assert_(lambda: SiteSetting.get("global_notice") == "")
+
+    def setup_member(ctx):
+        seed_users(app)
+        SiteSetting.set("global_notice", "maintenance window at noon")
+        ctx.invoke("member")
+
+    def postcond_member(ctx, result):
+        ctx.assert_(lambda: result is False)
+        ctx.assert_(lambda: SiteSetting.get("global_notice") == "maintenance window at noon")
+
+    def setup_admin_blank(ctx):
+        seed_users(app)
+        SiteSetting.set("global_notice", "")
+        ctx.invoke("admin_user")
+
+    def postcond_admin_blank(ctx, result):
+        ctx.assert_(lambda: result is True)
+        ctx.assert_(lambda: SiteSetting.get("global_notice") == "")
+
+    problem.add_spec("admins clear the notice", setup_admin, postcond_admin)
+    problem.add_spec("members cannot clear the notice", setup_member, postcond_member)
+    problem.add_spec("clearing an empty notice is a no-op", setup_admin_blank, postcond_admin_blank)
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="A1",
+        name="User#clear_global_notice",
+        group="Discourse",
+        build=build_a1,
+        description="Clear the SiteSetting.global_notice banner when called by an admin.",
+        paper=PaperReference(
+            specs=3, asserts_min=2, asserts_max=2, orig_paths=3, lib_methods=169,
+            time_s=2.11, meth_size=24, syn_paths=3,
+            types_only_s=None, effects_only_s=None, neither_s=None,
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# A2 User#activate
+# ---------------------------------------------------------------------------
+
+
+def build_a2() -> SynthesisProblem:
+    app = build_discourse_app()
+    User = app.models["User"]
+    EmailToken = app.models["EmailToken"]
+    problem = define(
+        "activate",
+        "(Int) -> User",
+        consts=BASE_CONSTANTS + (User, EmailToken),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup_with_token(ctx):
+        seed_users(app)
+        user = User.find_by(username="newbie")
+        EmailToken.create(user_id=user.id, token="tok-123", confirmed=False, expired=False)
+        ctx["user"] = user
+        ctx.invoke(user.id)
+
+    def postcond_with_token(ctx, result):
+        # The expected id is computed outside the assertion lambdas so the
+        # captured read effects name only the state the assertion checks.
+        user_id = ctx["user"].id
+        ctx.assert_(lambda: result.id == user_id)
+        ctx.assert_(lambda: result.active is True)
+        ctx.assert_(lambda: EmailToken.exists(user_id=user_id, confirmed=True))
+        ctx.assert_(lambda: User.find_by(id=user_id).active is True)
+
+    def setup_without_token(ctx):
+        seed_users(app)
+        user = User.find_by(username="member")
+        ctx["user"] = user
+        ctx.invoke(user.id)
+
+    def postcond_without_token(ctx, result):
+        ctx.assert_(lambda: result.active is True)
+
+    problem.add_spec(
+        "activation confirms the pending email token", setup_with_token, postcond_with_token
+    )
+    problem.add_spec(
+        "activation of an already-active account", setup_without_token, postcond_without_token
+    )
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="A2",
+        name="User#activate",
+        group="Discourse",
+        build=build_a2,
+        description="Flip a user's active flag and confirm their pending email token.",
+        paper=PaperReference(
+            specs=2, original_tests=3, asserts_min=1, asserts_max=4, orig_paths=2,
+            lib_methods=170, time_s=8.95, meth_size=28, syn_paths=2,
+            types_only_s=None, effects_only_s=None, neither_s=None,
+        ),
+        config_overrides={"max_size": 48},
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# A3 User#unstage
+# ---------------------------------------------------------------------------
+
+
+def build_a3() -> SynthesisProblem:
+    app = build_discourse_app()
+    User = app.models["User"]
+    problem = define(
+        "unstage",
+        "(Str) -> User or Nil",
+        consts=BASE_CONSTANTS + (None, User),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup_staged(ctx):
+        seed_users(app)
+        staged = User.create(
+            username="imported",
+            name="Imported",
+            email="imported@example.com",
+            active=False,
+            staged=True,
+            approved=False,
+            admin=False,
+            trust_level=0,
+        )
+        ctx["staged"] = staged
+        ctx.invoke("imported@example.com")
+
+    def postcond_staged(ctx, result):
+        staged_id = ctx["staged"].id
+        ctx.assert_(lambda: result is not None)
+        ctx.assert_(lambda: result.id == staged_id)
+        ctx.assert_(lambda: result.staged is False)
+        ctx.assert_(lambda: User.find_by(email="imported@example.com").staged is False)
+        ctx.assert_(lambda: result.active is False)
+
+    def setup_not_staged(ctx):
+        seed_users(app)
+        # An unrelated staged account ensures the synthesized guard must
+        # consult the argument rather than just "is any user staged?".
+        User.create(
+            username="other_import", name="Other", email="other@example.com",
+            active=False, staged=True, approved=False, admin=False, trust_level=0,
+        )
+        ctx.invoke("member@example.com")
+
+    def postcond_not_staged(ctx, result):
+        ctx.assert_(lambda: result is None)
+
+    def setup_unknown(ctx):
+        seed_users(app)
+        User.create(
+            username="other_import", name="Other", email="other@example.com",
+            active=False, staged=True, approved=False, admin=False, trust_level=0,
+        )
+        ctx.invoke("ghost@example.com")
+
+    def postcond_unknown(ctx, result):
+        ctx.assert_(lambda: result is None)
+
+    problem.add_spec("staged users are unstaged", setup_staged, postcond_staged)
+    problem.add_spec("regular users are untouched", setup_not_staged, postcond_not_staged)
+    problem.add_spec("unknown emails return nil", setup_unknown, postcond_unknown)
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="A3",
+        name="User#unstage",
+        group="Discourse",
+        build=build_a3,
+        description="Unstage a placeholder account created for email integration.",
+        paper=PaperReference(
+            specs=3, original_tests=4, asserts_min=1, asserts_max=5, orig_paths=2,
+            lib_methods=164, time_s=50.02, meth_size=31, syn_paths=2,
+            types_only_s=None, effects_only_s=None, neither_s=None,
+        ),
+        config_overrides={"max_size": 48},
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# A4 User#check_site_contact
+# ---------------------------------------------------------------------------
+
+
+def build_a4() -> SynthesisProblem:
+    app = build_discourse_app()
+    User = app.models["User"]
+    SiteSetting = app.stores["SiteSetting"]
+    problem = define(
+        "check_site_contact",
+        "(Str) -> User",
+        consts=BASE_CONSTANTS + (User, SiteSetting),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def make_configured_setup(username):
+        def setup(ctx):
+            seed_users(app)
+            SiteSetting.set("site_contact_username", username)
+            ctx["expected"] = User.find_by(username=username)
+            ctx.invoke(username)
+
+        return setup
+
+    def postcond_configured(ctx, result):
+        expected_id = ctx["expected"].id
+        ctx.assert_(lambda: result.id == expected_id)
+
+    def setup_unconfigured(ctx):
+        seed_users(app)
+        SiteSetting.set("site_contact_username", "")
+        ctx["expected"] = User.find_by(username="admin_user")
+        ctx.invoke("")
+
+    def postcond_unconfigured(ctx, result):
+        ctx.assert_(lambda: result.admin is True)
+
+    def postcond_missing_user(ctx, result):
+        expected_id = ctx["expected"].id
+        ctx.assert_(lambda: result.id == expected_id)
+
+    problem.add_spec(
+        "configured contact is returned", make_configured_setup("member"), postcond_configured
+    )
+    problem.add_spec(
+        "newly configured contact is returned", make_configured_setup("newbie"), postcond_configured
+    )
+    problem.add_spec(
+        "unconfigured contact falls back to an admin", setup_unconfigured, postcond_unconfigured
+    )
+    problem.add_spec(
+        "fallback picks the admin user", setup_unconfigured, postcond_missing_user
+    )
+    problem.add_spec(
+        "admin contact is returned", make_configured_setup("admin_user"), postcond_configured
+    )
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="A4",
+        name="User#check_site_contact",
+        group="Discourse",
+        build=build_a4,
+        description="Return the configured site-contact user, or fall back to an admin.",
+        paper=PaperReference(
+            specs=5, asserts_min=1, asserts_max=1, orig_paths=2, lib_methods=168,
+            time_s=51.6, meth_size=28, syn_paths=3,
+            types_only_s=None, effects_only_s=None, neither_s=None,
+        ),
+    )
+)

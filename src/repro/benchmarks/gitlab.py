@@ -1,0 +1,225 @@
+"""Gitlab benchmarks A5-A8 (Table 1, "Gitlab" group).
+
+Re-creations of the Gitlab methods the paper synthesizes, on the substrate of
+:mod:`repro.apps.gitlab`:
+
+* **A5  Discussion#build** -- create a discussion record for a noteable;
+* **A6  User#disable_two_factor!** -- clear every two-factor column of a
+  user (the paper's example of a spec with ten assertions and a long
+  straight-line solution);
+* **A7  Issue#close** -- transition an issue to the closed state (the
+  original app uses the ``state_machine`` gem; the synthesized method works
+  without it, as the paper notes);
+* **A8  Issue#reopen** -- the reverse transition, which also needs the
+  ``nil`` constant to clear ``closed_at``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.gitlab import build_gitlab_app, seed_issues, seed_two_factor_user
+from repro.benchmarks.registry import (
+    BenchmarkSpec,
+    PaperReference,
+    register_benchmark,
+)
+from repro.benchmarks.synthetic import BASE_CONSTANTS
+from repro.synth.dsl import define
+from repro.synth.goal import SynthesisProblem
+
+
+# ---------------------------------------------------------------------------
+# A5 Discussion#build
+# ---------------------------------------------------------------------------
+
+
+def build_a5() -> SynthesisProblem:
+    app = build_gitlab_app()
+    Discussion = app.models["Discussion"]
+    problem = define(
+        "build_discussion",
+        "(Int, Int) -> Discussion",
+        consts=BASE_CONSTANTS + (Discussion,),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup(ctx):
+        ctx.invoke(7, 3)
+
+    def postcond(ctx, result):
+        ctx.assert_(lambda: result is not None)
+        ctx.assert_(lambda: result.noteable_id == 7)
+        ctx.assert_(lambda: result.project_id == 3)
+        ctx.assert_(lambda: Discussion.count() == 1)
+
+    problem.add_spec("builds a discussion for the noteable", setup, postcond)
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="A5",
+        name="Discussion#build",
+        group="Gitlab",
+        build=build_a5,
+        description="Create a Discussion row for a noteable within a project.",
+        paper=PaperReference(
+            specs=1, asserts_min=4, asserts_max=4, orig_paths=1, lib_methods=167,
+            time_s=0.24, meth_size=18, syn_paths=1,
+            types_only_s=None, effects_only_s=None, neither_s=None,
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# A6 User#disable_two_factor!
+# ---------------------------------------------------------------------------
+
+
+def build_a6() -> SynthesisProblem:
+    app = build_gitlab_app()
+    User = app.models["User"]
+    problem = define(
+        "disable_two_factor",
+        "(Int) -> User",
+        consts=BASE_CONSTANTS + (None, User),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup(ctx):
+        ctx["user_id"] = seed_two_factor_user(app)
+        ctx.invoke(ctx["user_id"])
+
+    def postcond(ctx, result):
+        user_id = ctx["user_id"]
+        ctx.assert_(lambda: result is not None)
+        ctx.assert_(lambda: result.id == user_id)
+        ctx.assert_(lambda: result.otp_required_for_login is False)
+        ctx.assert_(lambda: result.otp_secret is None)
+        ctx.assert_(lambda: result.otp_backup_codes is None)
+        ctx.assert_(lambda: result.two_factor_enabled is False)
+        reloaded = lambda: User.find_by(id=user_id)  # noqa: E731
+        ctx.assert_(lambda: reloaded().otp_required_for_login is False)
+        ctx.assert_(lambda: reloaded().otp_secret is None)
+        ctx.assert_(lambda: reloaded().otp_backup_codes is None)
+        ctx.assert_(lambda: reloaded().two_factor_enabled is False)
+
+    problem.add_spec("clears every two-factor column", setup, postcond)
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="A6",
+        name="User#disable_two_factor!",
+        group="Gitlab",
+        build=build_a6,
+        description="Clear all two-factor authentication columns of a user.",
+        paper=PaperReference(
+            specs=1, asserts_min=10, asserts_max=10, orig_paths=1, lib_methods=164,
+            time_s=0.25, meth_size=22, syn_paths=1,
+            types_only_s=None, effects_only_s=0.44, neither_s=None,
+        ),
+        config_overrides={"max_size": 56},
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# A7 Issue#close
+# ---------------------------------------------------------------------------
+
+
+def build_a7() -> SynthesisProblem:
+    app = build_gitlab_app()
+    Issue = app.models["Issue"]
+    problem = define(
+        "close_issue",
+        "(Int) -> Issue",
+        consts=BASE_CONSTANTS + ("closed", "now", Issue),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup(ctx):
+        seed_issues(app)
+        issue = Issue.find_by(title="Crash on startup")
+        ctx["issue"] = issue
+        ctx.invoke(issue.id)
+
+    def postcond(ctx, result):
+        issue_id = ctx["issue"].id
+        ctx.assert_(lambda: result.id == issue_id)
+        ctx.assert_(lambda: result.state == "closed")
+        ctx.assert_(lambda: result.closed_at == "now")
+
+    problem.add_spec("closing marks the issue closed", setup, postcond)
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="A7",
+        name="Issue#close",
+        group="Gitlab",
+        build=build_a7,
+        description="Transition an issue to the closed state and stamp closed_at.",
+        paper=PaperReference(
+            specs=1, original_tests=2, asserts_min=3, asserts_max=3, orig_paths=1,
+            lib_methods=166, time_s=0.77, meth_size=15, syn_paths=1,
+            types_only_s=25.99, effects_only_s=0.13, neither_s=0.37,
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# A8 Issue#reopen
+# ---------------------------------------------------------------------------
+
+
+def build_a8() -> SynthesisProblem:
+    app = build_gitlab_app()
+    Issue = app.models["Issue"]
+    problem = define(
+        "reopen_issue",
+        "(Int) -> Issue",
+        consts=BASE_CONSTANTS + ("opened", None, Issue),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup(ctx):
+        seed_issues(app)
+        issue = Issue.find_by(state="closed")
+        ctx["issue"] = issue
+        ctx.invoke(issue.id)
+
+    def postcond(ctx, result):
+        issue_id = ctx["issue"].id
+        ctx.assert_(lambda: result.id == issue_id)
+        ctx.assert_(lambda: result.state == "opened")
+        ctx.assert_(lambda: result.closed_at is None)
+        ctx.assert_(lambda: Issue.find_by(id=issue_id).state == "opened")
+        ctx.assert_(lambda: Issue.find_by(id=issue_id).closed_at is None)
+
+    problem.add_spec("reopening clears the closed state", setup, postcond)
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="A8",
+        name="Issue#reopen",
+        group="Gitlab",
+        build=build_a8,
+        description="Transition an issue back to the opened state, clearing closed_at.",
+        paper=PaperReference(
+            specs=1, original_tests=3, asserts_min=5, asserts_max=5, orig_paths=1,
+            lib_methods=166, time_s=3.68, meth_size=17, syn_paths=1,
+            types_only_s=None, effects_only_s=0.55, neither_s=45.66,
+        ),
+    )
+)

@@ -1,0 +1,95 @@
+"""Benchmark registry and paper reference data.
+
+Each benchmark carries the numbers the paper reports for it in Table 1 so
+the harness can print paper-vs-measured comparisons (EXPERIMENTS.md).  Times
+are medians in seconds; ``None`` means the paper reports a timeout ("-",
+300 s budget) for that configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.synth.config import SynthConfig
+from repro.synth.goal import SynthesisProblem
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """Numbers reported for one benchmark in Table 1 of the paper."""
+
+    specs: int
+    asserts_min: int
+    asserts_max: int
+    orig_paths: int
+    lib_methods: int
+    time_s: float
+    meth_size: int
+    syn_paths: int
+    original_tests: Optional[int] = None
+    types_only_s: Optional[float] = None
+    effects_only_s: Optional[float] = None
+    neither_s: Optional[float] = None
+
+
+@dataclass
+class BenchmarkSpec:
+    """One synthesis benchmark: how to build it plus the paper's numbers."""
+
+    id: str
+    name: str
+    group: str
+    build: Callable[[], SynthesisProblem]
+    paper: PaperReference
+    description: str = ""
+    #: Per-benchmark overrides applied on top of the harness config
+    #: (e.g. a larger candidate size bound for the overview benchmark).
+    config_overrides: Dict[str, object] = field(default_factory=dict)
+
+    def make_config(self, base: Optional[SynthConfig] = None) -> SynthConfig:
+        from dataclasses import replace
+
+        config = base or SynthConfig()
+        if self.config_overrides:
+            config = replace(config, **self.config_overrides)
+        return config
+
+    def __str__(self) -> str:
+        return f"{self.id} {self.name}"
+
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {}
+
+
+def register_benchmark(spec: BenchmarkSpec) -> BenchmarkSpec:
+    if spec.id in _REGISTRY:
+        raise ValueError(f"duplicate benchmark id {spec.id!r}")
+    _REGISTRY[spec.id] = spec
+    return spec
+
+
+def all_benchmarks(group: Optional[str] = None) -> List[BenchmarkSpec]:
+    """All registered benchmarks in Table 1 order, optionally by group."""
+
+    order = {bid: i for i, bid in enumerate(_TABLE1_ORDER)}
+    benchmarks = sorted(_REGISTRY.values(), key=lambda b: order.get(b.id, 99))
+    if group is not None:
+        benchmarks = [b for b in benchmarks if b.group == group]
+    return benchmarks
+
+
+def get_benchmark(benchmark_id: str) -> BenchmarkSpec:
+    try:
+        return _REGISTRY[benchmark_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown benchmark {benchmark_id!r}; known: {known}") from None
+
+
+_TABLE1_ORDER = [
+    "S1", "S2", "S3", "S4", "S5", "S6", "S7",
+    "A1", "A2", "A3", "A4",
+    "A5", "A6", "A7", "A8",
+    "A9", "A10", "A11", "A12",
+]

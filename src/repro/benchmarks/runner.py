@@ -1,0 +1,83 @@
+"""Running benchmarks and collecting the metrics Table 1 reports."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.benchmarks.registry import BenchmarkSpec
+from repro.synth.config import SynthConfig
+from repro.synth.synthesizer import SynthesisResult, synthesize
+
+
+@dataclass
+class BenchmarkResult:
+    """Measurements for one benchmark under one configuration."""
+
+    benchmark: BenchmarkSpec
+    config: SynthConfig
+    times_s: List[float] = field(default_factory=list)
+    success: bool = False
+    timed_out: bool = False
+    meth_size: Optional[int] = None
+    syn_paths: Optional[int] = None
+    specs: int = 0
+    lib_methods: int = 0
+    program_text: str = ""
+    last_result: Optional[SynthesisResult] = None
+
+    @property
+    def median_s(self) -> Optional[float]:
+        return statistics.median(self.times_s) if self.times_s else None
+
+    @property
+    def siqr_s(self) -> Optional[float]:
+        """Semi-interquartile range, the spread statistic Table 1 reports."""
+
+        if len(self.times_s) < 2:
+            return 0.0 if self.times_s else None
+        ordered = sorted(self.times_s)
+        q1, _, q3 = statistics.quantiles(ordered, n=4, method="inclusive")
+        return (q3 - q1) / 2
+
+    def display_time(self) -> str:
+        if not self.success:
+            return "timeout" if self.timed_out else "fail"
+        return f"{self.median_s:.2f} ± {self.siqr_s:.2f}"
+
+
+def run_benchmark(
+    benchmark: BenchmarkSpec,
+    config: Optional[SynthConfig] = None,
+    runs: int = 1,
+) -> BenchmarkResult:
+    """Run one benchmark ``runs`` times and collect Table 1 metrics.
+
+    The benchmark's problem (app substrate, class table, specs) is rebuilt
+    for every run so runs are fully isolated; per-benchmark config overrides
+    (e.g. a larger size bound) are applied on top of ``config``.
+    """
+
+    effective = benchmark.make_config(config)
+    result = BenchmarkResult(benchmark=benchmark, config=effective)
+
+    for _ in range(max(runs, 1)):
+        problem = benchmark.build()
+        result.specs = len(problem.specs)
+        result.lib_methods = problem.library_method_count()
+        start = time.perf_counter()
+        outcome = synthesize(problem, effective)
+        elapsed = time.perf_counter() - start
+        result.last_result = outcome
+        result.timed_out = outcome.timed_out
+        result.success = outcome.success
+        if not outcome.success:
+            break
+        result.times_s.append(elapsed)
+        result.meth_size = outcome.method_size
+        result.syn_paths = outcome.paths
+        result.program_text = outcome.pretty()
+
+    return result

@@ -1,0 +1,424 @@
+"""Synthetic benchmarks S1-S7 (Table 1, "Synthetic" group).
+
+These are the minimal examples the paper uses to exercise individual features
+of RbSyn: pure methods (S1, S2), method chains (S3), boolean queries (S4),
+branching (S5), the full overview example (S6) and branch folding (S7).  All
+of them run against the blogging app of Section 2.
+"""
+
+from __future__ import annotations
+
+from repro.lang.values import HashValue
+from repro.apps.blog import build_blog_app, seed_blog
+from repro.benchmarks.registry import (
+    BenchmarkSpec,
+    PaperReference,
+    register_benchmark,
+)
+from repro.synth.dsl import define
+from repro.synth.goal import SynthesisProblem
+
+#: The base constant set used across all benchmarks (Section 5.1).
+BASE_CONSTANTS = (True, False, 0, 1, "")
+
+
+# ---------------------------------------------------------------------------
+# S1 lvar -- return a local variable (the method argument)
+# ---------------------------------------------------------------------------
+
+
+def build_s1() -> SynthesisProblem:
+    app = build_blog_app()
+    problem = define(
+        "lvar",
+        "(Str) -> Str",
+        consts=BASE_CONSTANTS,
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup(ctx):
+        ctx.invoke("hello world")
+
+    def postcond(ctx, result):
+        ctx.assert_(lambda: result == "hello world")
+
+    problem.add_spec("returns its argument", setup, postcond)
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="S1",
+        name="lvar",
+        group="Synthetic",
+        build=build_s1,
+        description="Return the method's argument (a local variable).",
+        paper=PaperReference(
+            specs=1, asserts_min=1, asserts_max=1, orig_paths=1, lib_methods=164,
+            time_s=0.34, meth_size=4, syn_paths=1,
+            types_only_s=1.36, effects_only_s=11.97, neither_s=None,
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# S2 false -- return a boolean constant
+# ---------------------------------------------------------------------------
+
+
+def build_s2() -> SynthesisProblem:
+    app = build_blog_app()
+    problem = define(
+        "always_false",
+        "(Str) -> Bool",
+        consts=BASE_CONSTANTS,
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup(ctx):
+        ctx.invoke("anything")
+
+    def postcond(ctx, result):
+        ctx.assert_(lambda: result is False)
+
+    problem.add_spec("always returns false", setup, postcond)
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="S2",
+        name="false",
+        group="Synthetic",
+        build=build_s2,
+        description="Return the constant false.",
+        paper=PaperReference(
+            specs=1, asserts_min=1, asserts_max=1, orig_paths=1, lib_methods=164,
+            time_s=0.35, meth_size=4, syn_paths=1,
+            types_only_s=1.37, effects_only_s=12.19, neither_s=None,
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# S3 method chains -- User.where(...).first
+# ---------------------------------------------------------------------------
+
+
+def build_s3() -> SynthesisProblem:
+    app = build_blog_app()
+    User = app.models["User"]
+    problem = define(
+        "find_user",
+        "(Str) -> User",
+        consts=BASE_CONSTANTS + (User,),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    # The looked-up users are deliberately not the first database row, so
+    # degenerate candidates like ``User.first`` cannot satisfy the specs.
+    def setup_carol(ctx):
+        seed_blog(app)
+        ctx.invoke("carol")
+
+    def setup_dummy(ctx):
+        seed_blog(app)
+        ctx.invoke("dummy")
+
+    def check(username, name):
+        def postcond(ctx, result):
+            ctx.assert_(lambda: result.username == username)
+            ctx.assert_(lambda: result.name == name)
+
+        return postcond
+
+    problem.add_spec("finds carol by username", setup_carol, check("carol", "Carol"))
+    problem.add_spec("finds dummy by username", setup_dummy, check("dummy", "Dummy"))
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="S3",
+        name="method chains",
+        group="Synthetic",
+        build=build_s3,
+        description="Chain a query and a materialization: User.where(username:).first.",
+        paper=PaperReference(
+            specs=2, asserts_min=1, asserts_max=1, orig_paths=1, lib_methods=164,
+            time_s=0.98, meth_size=10, syn_paths=1,
+            types_only_s=9.56, effects_only_s=None, neither_s=None,
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# S4 user exists -- boolean query
+# ---------------------------------------------------------------------------
+
+
+def build_s4() -> SynthesisProblem:
+    app = build_blog_app()
+    User = app.models["User"]
+    problem = define(
+        "user_exists",
+        "(Str) -> Bool",
+        consts=BASE_CONSTANTS + (User,),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup_present(ctx):
+        seed_blog(app)
+        ctx.invoke("author")
+
+    def setup_absent(ctx):
+        seed_blog(app)
+        ctx.invoke("nobody")
+
+    problem.add_spec(
+        "existing username",
+        setup_present,
+        lambda ctx, result: ctx.assert_(lambda: result is True),
+    )
+    problem.add_spec(
+        "missing username",
+        setup_absent,
+        lambda ctx, result: ctx.assert_(lambda: result is False),
+    )
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="S4",
+        name="user exists",
+        group="Synthetic",
+        build=build_s4,
+        description="Boolean query folded from two specs: User.exists?(username:).",
+        paper=PaperReference(
+            specs=2, asserts_min=1, asserts_max=1, orig_paths=1, lib_methods=164,
+            time_s=0.98, meth_size=9, syn_paths=1,
+            types_only_s=9.52, effects_only_s=None, neither_s=None,
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# S5 branching -- find-or-create
+# ---------------------------------------------------------------------------
+
+
+def build_s5() -> SynthesisProblem:
+    app = build_blog_app()
+    User = app.models["User"]
+    problem = define(
+        "find_or_create_user",
+        "(Str, Str) -> User",
+        consts=BASE_CONSTANTS + (User,),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    # Existing users are deliberately not the first database row so that
+    # ``User.first`` cannot satisfy the "existing" specs.
+    def setup_existing(ctx):
+        seed_blog(app)
+        ctx["existing"] = User.find_by(username="carol")
+        ctx.invoke("carol", "Someone Else")
+
+    def postcond_existing(ctx, result):
+        ctx.assert_(lambda: result.id == ctx["existing"].id)
+
+    def setup_missing(ctx):
+        seed_blog(app)
+        ctx.invoke("dave", "Dave")
+
+    def postcond_missing(ctx, result):
+        ctx.assert_(lambda: User.exists(username="dave"))
+
+    def setup_existing_other(ctx):
+        seed_blog(app)
+        ctx["existing"] = User.find_by(username="dummy")
+        ctx.invoke("dummy", "Dummy Again")
+
+    def postcond_existing_other(ctx, result):
+        ctx.assert_(lambda: result.id == ctx["existing"].id)
+
+    problem.add_spec("existing user is returned", setup_existing, postcond_existing)
+    problem.add_spec("missing user is created", setup_missing, postcond_missing)
+    problem.add_spec(
+        "another existing user is returned", setup_existing_other, postcond_existing_other
+    )
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="S5",
+        name="branching",
+        group="Synthetic",
+        build=build_s5,
+        description="Find-or-create: a branch on User.exists?(username:).",
+        paper=PaperReference(
+            specs=3, asserts_min=1, asserts_max=1, orig_paths=2, lib_methods=165,
+            time_s=2.49, meth_size=17, syn_paths=2,
+            types_only_s=38.37, effects_only_s=None, neither_s=None,
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# S6 overview (ext) -- the update_post example of Section 2, plus a third spec
+# ---------------------------------------------------------------------------
+
+
+def build_s6() -> SynthesisProblem:
+    app = build_blog_app()
+    User = app.models["User"]
+    Post = app.models["Post"]
+    problem = define(
+        "update_post",
+        "(Str, Str, {author: ?Str, title: ?Str, slug: ?Str}) -> Post",
+        consts=BASE_CONSTANTS + (User, Post),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    update_args = HashValue.of(author="dummy", title="Foo Bar", slug="foobar")
+
+    def make_setup(caller: str):
+        def setup(ctx):
+            seed_blog(app)
+            ctx["post"] = Post.create(
+                author="author", slug="hello-world", title="Hello World"
+            )
+            ctx.invoke(caller, "hello-world", update_args)
+
+        return setup
+
+    def make_postcond(expected_title: str):
+        def postcond(ctx, updated):
+            ctx.assert_(lambda: updated.id == ctx["post"].id)
+            ctx.assert_(lambda: updated.author == "author")
+            ctx.assert_(lambda: updated.title == expected_title)
+            ctx.assert_(lambda: updated.slug == "hello-world")
+
+        return postcond
+
+    problem.add_spec(
+        "author can only change titles", make_setup("author"), make_postcond("Foo Bar")
+    )
+    problem.add_spec(
+        "other users cannot change anything",
+        make_setup("dummy"),
+        make_postcond("Hello World"),
+    )
+
+    # Third spec (the "(ext)" in the paper's benchmark name): a different
+    # author updating their own post exercises the same positive path with
+    # different data.
+    def setup_third(ctx):
+        seed_blog(app)
+        ctx["post"] = Post.create(author="carol", slug="carols-news", title="Old News")
+        ctx.invoke("carol", "carols-news", HashValue.of(title="Fresh News"))
+
+    def postcond_third(ctx, updated):
+        ctx.assert_(lambda: updated.id == ctx["post"].id)
+        ctx.assert_(lambda: updated.author == "carol")
+        ctx.assert_(lambda: updated.title == "Fresh News")
+        ctx.assert_(lambda: updated.slug == "carols-news")
+
+    problem.add_spec("authors can update their own posts", setup_third, postcond_third)
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="S6",
+        name="overview (ext)",
+        group="Synthetic",
+        build=build_s6,
+        description="The update_post method of Figures 1 and 2, with a third spec.",
+        paper=PaperReference(
+            specs=3, asserts_min=4, asserts_max=4, orig_paths=3, lib_methods=164,
+            time_s=12.78, meth_size=72, syn_paths=3,
+            types_only_s=None, effects_only_s=None, neither_s=None,
+        ),
+        config_overrides={"max_size": 48},
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# S7 fold branches -- boolean method whose branches fold into one line
+# ---------------------------------------------------------------------------
+
+
+def build_s7() -> SynthesisProblem:
+    app = build_blog_app()
+    User = app.models["User"]
+    Post = app.models["Post"]
+    problem = define(
+        "post_by_author_exists",
+        "(Str, Str) -> Bool",
+        consts=BASE_CONSTANTS + (Post,),
+        class_table=app.class_table,
+        reset=app.reset,
+    )
+
+    def setup_match(ctx):
+        seed_blog(app)
+        ctx.invoke("author", "author-post-0")
+
+    def setup_match_other(ctx):
+        seed_blog(app)
+        ctx.invoke("carol", "carol-post-0")
+
+    def setup_mismatch(ctx):
+        seed_blog(app)
+        ctx.invoke("author", "carol-post-0")
+
+    problem.add_spec(
+        "author owns their post",
+        setup_match,
+        lambda ctx, result: ctx.assert_(lambda: result is True),
+    )
+    problem.add_spec(
+        "carol owns her post",
+        setup_match_other,
+        lambda ctx, result: ctx.assert_(lambda: result is True),
+    )
+    problem.add_spec(
+        "author does not own carol's post",
+        setup_mismatch,
+        lambda ctx, result: ctx.assert_(lambda: result is False),
+    )
+    return problem
+
+
+register_benchmark(
+    BenchmarkSpec(
+        id="S7",
+        name="fold branches",
+        group="Synthetic",
+        build=build_s7,
+        description=(
+            "Three specs whose true/false branches fold into the single-line "
+            "program Post.exists?(author:, slug:) via the pruning rules."
+        ),
+        paper=PaperReference(
+            specs=3, asserts_min=1, asserts_max=1, orig_paths=1, lib_methods=164,
+            time_s=82.44, meth_size=13, syn_paths=1,
+            types_only_s=218.51, effects_only_s=None, neither_s=None,
+        ),
+    )
+)

@@ -1,0 +1,12 @@
+"""Core (non-ORM) library methods available to synthesized code.
+
+These play the role of the "core Ruby libraries" among the 164 shared library
+methods of the paper's benchmarks: hash indexing, string and integer
+operations, equality tests and a small global key/value store used by the
+Discourse-style benchmarks.
+"""
+
+from repro.corelib.builtins import register_corelib
+from repro.corelib.kvstore import KeyValueStore, make_kvstore
+
+__all__ = ["register_corelib", "KeyValueStore", "make_kvstore"]

@@ -1,0 +1,253 @@
+"""Builtin library methods: hash indexing, strings, integers, booleans.
+
+``Hash#[]`` carries a comp type: when the receiver is a finite hash type the
+argument type becomes the union of the hash's key symbols and the return
+type the union of the corresponding value types.  This is how the search of
+Figure 2 enumerates ``arg2[:author]`` and ``arg2[:title]`` without blindly
+guessing symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.lang import types as T
+from repro.lang.effects import EffectPair
+from repro.lang.values import HashValue, Symbol, truthy
+from repro.typesys.class_table import ClassTable, MethodSig
+
+
+def _hash_index_comp(
+    sig: MethodSig, receiver_type: T.Type, ct: ClassTable
+) -> Tuple[Tuple[T.Type, ...], T.Type]:
+    """Comp type for ``Hash#[]``: key symbols and value types from the receiver."""
+
+    if isinstance(receiver_type, T.FiniteHashType) and receiver_type.all_keys:
+        keys = receiver_type.all_keys
+        arg = T.union(*[T.SymbolType(k) for k in keys])
+        ret = T.union(*list(keys.values()))
+        return (arg,), ret
+    return sig.arg_types, sig.ret_type
+
+
+def _hash_index_impl(interp: Any, recv: Any, key: Any) -> Any:
+    if isinstance(recv, HashValue):
+        return recv.get(key if isinstance(key, Symbol) else Symbol(str(key)))
+    if isinstance(recv, dict):
+        name = key.name if isinstance(key, Symbol) else key
+        return recv.get(name)
+    raise TypeError(f"cannot index {recv!r}")
+
+
+def _hash_key_impl(interp: Any, recv: Any, key: Any) -> bool:
+    if isinstance(recv, HashValue):
+        return (key if isinstance(key, Symbol) else Symbol(str(key))) in recv
+    if isinstance(recv, dict):
+        name = key.name if isinstance(key, Symbol) else key
+        return name in recv
+    return False
+
+
+def register_corelib(ct: ClassTable, synthesis_equality: bool = False) -> None:
+    """Register builtin methods into ``ct``.
+
+    ``synthesis_equality`` controls whether equality/comparison methods are
+    available *to the synthesizer* (they are always callable from specs); the
+    default keeps them out of the search space, as unguided boolean methods
+    mostly blow up guard synthesis.
+    """
+
+    add = ct.add_method
+
+    # -- Hash ------------------------------------------------------------------
+
+    add(
+        MethodSig(
+            owner="Hash",
+            name="[]",
+            arg_types=(T.SYMBOL,),
+            ret_type=T.OBJECT,
+            effects=EffectPair.pure(),
+            impl=_hash_index_impl,
+            comp_type=_hash_index_comp,
+        )
+    )
+    add(
+        MethodSig(
+            owner="Hash",
+            name="key?",
+            arg_types=(T.SYMBOL,),
+            ret_type=T.BOOL,
+            effects=EffectPair.pure(),
+            impl=_hash_key_impl,
+            comp_type=_hash_index_comp,
+            synthesis=synthesis_equality,
+        )
+    )
+
+    # -- String -----------------------------------------------------------------
+
+    add(
+        MethodSig(
+            owner="String",
+            name="empty?",
+            arg_types=(),
+            ret_type=T.BOOL,
+            impl=lambda interp, recv: len(recv) == 0,
+            synthesis=synthesis_equality,
+        )
+    )
+    add(
+        MethodSig(
+            owner="String",
+            name="length",
+            arg_types=(),
+            ret_type=T.INT,
+            impl=lambda interp, recv: len(recv),
+            synthesis=False,
+        )
+    )
+    add(
+        MethodSig(
+            owner="String",
+            name="upcase",
+            arg_types=(),
+            ret_type=T.STRING,
+            impl=lambda interp, recv: recv.upper(),
+            synthesis=False,
+        )
+    )
+    add(
+        MethodSig(
+            owner="String",
+            name="downcase",
+            arg_types=(),
+            ret_type=T.STRING,
+            impl=lambda interp, recv: recv.lower(),
+            synthesis=False,
+        )
+    )
+    add(
+        MethodSig(
+            owner="String",
+            name="strip",
+            arg_types=(),
+            ret_type=T.STRING,
+            impl=lambda interp, recv: recv.strip(),
+            synthesis=False,
+        )
+    )
+    add(
+        MethodSig(
+            owner="String",
+            name="+",
+            arg_types=(T.STRING,),
+            ret_type=T.STRING,
+            impl=lambda interp, recv, other: recv + other,
+            synthesis=False,
+        )
+    )
+    add(
+        MethodSig(
+            owner="String",
+            name="==",
+            arg_types=(T.OBJECT,),
+            ret_type=T.BOOL,
+            impl=lambda interp, recv, other: recv == other,
+            synthesis=synthesis_equality,
+        )
+    )
+
+    # -- Integer -----------------------------------------------------------------
+
+    add(
+        MethodSig(
+            owner="Integer",
+            name="+",
+            arg_types=(T.INT,),
+            ret_type=T.INT,
+            impl=lambda interp, recv, other: recv + other,
+        )
+    )
+    add(
+        MethodSig(
+            owner="Integer",
+            name="-",
+            arg_types=(T.INT,),
+            ret_type=T.INT,
+            impl=lambda interp, recv, other: recv - other,
+        )
+    )
+    add(
+        MethodSig(
+            owner="Integer",
+            name="==",
+            arg_types=(T.OBJECT,),
+            ret_type=T.BOOL,
+            impl=lambda interp, recv, other: recv == other,
+            synthesis=synthesis_equality,
+        )
+    )
+    add(
+        MethodSig(
+            owner="Integer",
+            name=">",
+            arg_types=(T.INT,),
+            ret_type=T.BOOL,
+            impl=lambda interp, recv, other: recv > other,
+            synthesis=synthesis_equality,
+        )
+    )
+    add(
+        MethodSig(
+            owner="Integer",
+            name="<",
+            arg_types=(T.INT,),
+            ret_type=T.BOOL,
+            impl=lambda interp, recv, other: recv < other,
+            synthesis=synthesis_equality,
+        )
+    )
+    add(
+        MethodSig(
+            owner="Integer",
+            name="zero?",
+            arg_types=(),
+            ret_type=T.BOOL,
+            impl=lambda interp, recv: recv == 0,
+            synthesis=synthesis_equality,
+        )
+    )
+
+    # -- Object / Boolean -----------------------------------------------------------
+
+    add(
+        MethodSig(
+            owner="Object",
+            name="nil?",
+            arg_types=(),
+            ret_type=T.BOOL,
+            impl=lambda interp, recv: recv is None,
+            synthesis=False,
+        )
+    )
+    add(
+        MethodSig(
+            owner="Object",
+            name="==",
+            arg_types=(T.OBJECT,),
+            ret_type=T.BOOL,
+            impl=lambda interp, recv, other: recv == other,
+            synthesis=False,
+        )
+    )
+    add(
+        MethodSig(
+            owner="Boolean",
+            name="!",
+            arg_types=(),
+            ret_type=T.BOOL,
+            impl=lambda interp, recv: not truthy(recv),
+            synthesis=False,
+        )
+    )

@@ -1,0 +1,136 @@
+"""A global key/value store substrate (Discourse's ``SiteSetting`` style).
+
+Several Discourse benchmarks manipulate global application settings rather
+than database rows.  The store is backed by the database's globals map so it
+participates in the per-spec reset, and its accessors carry per-key effect
+regions (``SiteSetting.global_notice``) so effect-guided synthesis can target
+individual settings, mirroring the paper's precise annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Type as PyType
+
+from repro.lang import types as T
+from repro.lang.effects import Effect, EffectPair
+from repro.interp.effect_log import log_effect
+from repro.typesys.class_table import ClassTable, MethodSig
+from repro.activerecord.database import Database
+
+
+class KeyValueStore:
+    """A named global settings store with a fixed set of known keys."""
+
+    store_name: str = "Setting"
+    keys: Dict[str, T.Type] = {}
+    _database: Optional[Database] = None
+
+    @classmethod
+    def syn_singleton_name(cls) -> str:
+        return cls.store_name
+
+    @classmethod
+    def bind(cls, database: Database) -> None:
+        cls._database = database
+
+    @classmethod
+    def database(cls) -> Database:
+        if cls._database is None:
+            raise RuntimeError(f"{cls.store_name} is not bound to a database")
+        return cls._database
+
+    @classmethod
+    def _qualified(cls, key: str) -> str:
+        return f"{cls.store_name}.{key}"
+
+    @classmethod
+    def get(cls, key: str) -> Any:
+        log_effect(read=Effect.region(cls.store_name, key))
+        return cls.database().get_global(cls._qualified(key))
+
+    @classmethod
+    def set(cls, key: str, value: Any) -> Any:
+        log_effect(write=Effect.region(cls.store_name, key))
+        return cls.database().set_global(cls._qualified(key), value)
+
+    @classmethod
+    def delete(cls, key: str) -> None:
+        log_effect(write=Effect.region(cls.store_name, key))
+        cls.database().delete_global(cls._qualified(key))
+
+
+def make_kvstore(
+    name: str,
+    keys: Dict[str, T.Type],
+    database: Optional[Database] = None,
+) -> PyType[KeyValueStore]:
+    """Create a fresh settings store class with the given known keys."""
+
+    return type(
+        name,
+        (KeyValueStore,),
+        {"store_name": name, "keys": dict(keys), "_database": database},
+    )
+
+
+def register_kvstore(
+    ct: ClassTable, store_cls: PyType[KeyValueStore], synthesis: bool = True
+) -> List[MethodSig]:
+    """Register per-key accessor/mutator signatures for a settings store.
+
+    For each known key ``k`` two singleton methods are generated, mirroring
+    how Discourse exposes ``SiteSetting.global_notice`` and
+    ``SiteSetting.global_notice=``:
+
+    * ``Store.k``   with read effect ``Store.k``;
+    * ``Store.k=``  with write effect ``Store.k``.
+    """
+
+    name = store_cls.store_name
+    if not ct.has_class(name):
+        ct.add_class(name, "Object", pyclass=store_cls)
+    sigs: List[MethodSig] = []
+    for key, key_type in store_cls.keys.items():
+        sigs.append(
+            ct.add_method(
+                MethodSig(
+                    owner=name,
+                    name=key,
+                    arg_types=(),
+                    ret_type=key_type,
+                    effects=EffectPair.of(read=f"{name}.{key}"),
+                    singleton=True,
+                    impl=_make_getter(key),
+                    synthesis=synthesis,
+                )
+            )
+        )
+        sigs.append(
+            ct.add_method(
+                MethodSig(
+                    owner=name,
+                    name=f"{key}=",
+                    arg_types=(key_type,),
+                    ret_type=key_type,
+                    effects=EffectPair.of(write=f"{name}.{key}"),
+                    singleton=True,
+                    impl=_make_setter(key),
+                    synthesis=synthesis,
+                )
+            )
+        )
+    return sigs
+
+
+def _make_getter(key: str):
+    def impl(interp: Any, recv: Any) -> Any:
+        return recv.get(key)
+
+    return impl
+
+
+def _make_setter(key: str):
+    def impl(interp: Any, recv: Any, value: Any) -> Any:
+        return recv.set(key, value)
+
+    return impl

@@ -1,0 +1,27 @@
+"""Evaluation harnesses regenerating the paper's tables and figures.
+
+* :mod:`repro.evaluation.table1`  -- Table 1: per-benchmark synthesis times
+  (median ± SIQR), guidance-mode comparison columns, method size and paths;
+* :mod:`repro.evaluation.figure7` -- Figure 7: cumulative number of
+  benchmarks synthesized within *t* seconds for the four guidance modes;
+* :mod:`repro.evaluation.figure8` -- Figure 8: synthesis time under
+  precise / class / purity effect annotations;
+* :mod:`repro.evaluation.report`  -- text rendering and the
+  paper-vs-measured comparison used by EXPERIMENTS.md.
+
+Each module is runnable with ``python -m`` and exposes a programmatic entry
+point used by the pytest-benchmark harnesses in ``benchmarks/``.
+"""
+
+from repro.evaluation.table1 import Table1Row, run_table1
+from repro.evaluation.figure7 import Figure7Series, run_figure7
+from repro.evaluation.figure8 import Figure8Row, run_figure8
+
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "Figure7Series",
+    "run_figure7",
+    "Figure8Row",
+    "run_figure8",
+]

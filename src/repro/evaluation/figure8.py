@@ -1,0 +1,76 @@
+"""Figure 8: effect annotation precision versus synthesis performance.
+
+The figure plots the synthesis time of every benchmark under three effect
+annotation precisions: the precise region annotations used everywhere else,
+class-only annotations (region labels dropped), and purity annotations (every
+impure method annotated simply as impure).  The expected reproduction shape:
+coarser annotations are never faster by much and cause additional timeouts,
+because effect-guided synthesis has to consider many more candidate writers
+for every failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.benchmarks import BenchmarkSpec, all_benchmarks, run_benchmark
+from repro.evaluation.report import format_table
+from repro.lang.effects import PRECISIONS
+from repro.synth.config import SynthConfig
+
+
+@dataclass
+class Figure8Row:
+    """Per-benchmark synthesis times at each effect precision."""
+
+    benchmark: BenchmarkSpec
+    times_s: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"id": self.benchmark.id, "name": self.benchmark.name}
+        for precision in PRECISIONS:
+            value = self.times_s.get(precision)
+            row[precision] = f"{value:.2f}" if value is not None else "timeout"
+        return row
+
+
+def run_figure8(
+    benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
+    timeout_s: float = 20.0,
+    precisions: Sequence[str] = PRECISIONS,
+) -> List[Figure8Row]:
+    """Run every benchmark at every effect annotation precision."""
+
+    benchmarks = list(benchmarks) if benchmarks is not None else all_benchmarks()
+    rows: List[Figure8Row] = []
+    for benchmark in benchmarks:
+        row = Figure8Row(benchmark=benchmark)
+        for precision in precisions:
+            config = SynthConfig.full(timeout_s=timeout_s, effect_precision=precision)
+            result = run_benchmark(benchmark, config, runs=1)
+            row.times_s[precision] = result.median_s if result.success else None
+        rows.append(row)
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--timeout", type=float, default=float(os.environ.get("REPRO_TIMEOUT", 20.0))
+    )
+    parser.add_argument("--only", nargs="*", help="benchmark ids to run")
+    args = parser.parse_args(argv)
+
+    benchmarks = all_benchmarks()
+    if args.only:
+        benchmarks = [b for b in benchmarks if b.id in set(args.only)]
+    rows = run_figure8(benchmarks, timeout_s=args.timeout)
+    print(format_table([row.as_dict() for row in rows], ["id", "name", *PRECISIONS]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

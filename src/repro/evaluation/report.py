@@ -1,0 +1,54 @@
+"""Text rendering helpers and paper-vs-measured comparison reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_time(
+    median_s: Optional[float], siqr_s: Optional[float], success: bool
+) -> str:
+    """Render a time cell like Table 1 (``-`` marks a timeout/failure)."""
+
+    if not success or median_s is None:
+        return "-"
+    if siqr_s is None:
+        return f"{median_s:.2f}"
+    return f"{median_s:.2f} ± {siqr_s:.2f}"
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render rows as a fixed-width text table with a header."""
+
+    widths = {col: len(col) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(str(row.get(col, ""))))
+    lines = []
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Dict[str, object]], columns: Sequence[str], headers: Optional[Sequence[str]] = None
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+
+    headers = list(headers) if headers is not None else list(columns)
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(col, "")) for col in columns) + " |")
+    return "\n".join(lines)
+
+
+def cumulative_counts(times: Sequence[Optional[float]], grid: Sequence[float]) -> List[int]:
+    """How many benchmarks finish within each time point (Figure 7's y-axis)."""
+
+    finished = [t for t in times if t is not None]
+    return [sum(1 for t in finished if t <= point) for point in grid]

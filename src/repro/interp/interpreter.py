@@ -1,0 +1,161 @@
+"""A definitional interpreter for lambda-syn.
+
+The interpreter evaluates candidate method bodies produced by the
+synthesizer.  Method calls are dispatched through the class table using the
+*runtime* class of the receiver (walking the superclass chain), the method's
+implementation callable performs the actual work against the substrate, and
+the method's resolved effect annotation is recorded into any active effect
+capture (rule E-MethCall of Appendix A.1).
+
+Expressions containing holes are not evaluable; attempting to evaluate one
+raises :class:`~repro.interp.errors.SynRuntimeError`, mirroring the
+``evaluable`` side condition of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.lang import ast as A
+from repro.lang import values as V
+from repro.lang.values import ClassValue, HashValue, Symbol, truthy
+from repro.interp.effect_log import log_effect
+from repro.interp.errors import NoMethodError, SynRuntimeError, UnboundVariableError
+from repro.typesys.class_table import ClassTable, MethodSig
+
+
+class Interpreter:
+    """Evaluates lambda-syn expressions against a class table."""
+
+    def __init__(self, class_table: ClassTable, max_calls: int = 100_000) -> None:
+        self.class_table = class_table
+        self.max_calls = max_calls
+        self._calls = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def eval(self, expr: A.Node, env: Optional[Mapping[str, Any]] = None) -> Any:
+        """Evaluate ``expr`` in dynamic environment ``env``."""
+
+        self._calls = 0
+        return self._eval(expr, dict(env or {}))
+
+    def call_program(self, program: A.MethodDef, *args: Any) -> Any:
+        """Invoke a synthesized method definition with the given arguments."""
+
+        if len(args) != len(program.params):
+            raise SynRuntimeError(
+                f"{program.name} expects {len(program.params)} arguments, "
+                f"got {len(args)}"
+            )
+        env = dict(zip(program.params, args))
+        return self.eval(program.body, env)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _eval(self, expr: A.Node, env: Dict[str, Any]) -> Any:
+        if isinstance(expr, A.NilLit):
+            return None
+        if isinstance(expr, A.BoolLit):
+            return expr.value
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.StrLit):
+            return expr.value
+        if isinstance(expr, A.SymLit):
+            return Symbol(expr.name)
+        if isinstance(expr, A.ConstRef):
+            return self._const(expr.name)
+        if isinstance(expr, A.Var):
+            if expr.name not in env:
+                raise UnboundVariableError(expr.name)
+            return env[expr.name]
+        if isinstance(expr, (A.TypedHole, A.EffectHole)):
+            raise SynRuntimeError("cannot evaluate an expression containing holes")
+        if isinstance(expr, A.Seq):
+            self._eval(expr.first, env)
+            return self._eval(expr.second, env)
+        if isinstance(expr, A.Let):
+            value = self._eval(expr.value, env)
+            inner = dict(env)
+            inner[expr.var] = value
+            return self._eval(expr.body, inner)
+        if isinstance(expr, A.HashLit):
+            return HashValue(
+                {Symbol(key): self._eval(value, env) for key, value in expr.entries}
+            )
+        if isinstance(expr, A.MethodCall):
+            return self._call(expr, env)
+        if isinstance(expr, A.If):
+            if truthy(self._eval(expr.cond, env)):
+                return self._eval(expr.then_branch, env)
+            return self._eval(expr.else_branch, env)
+        if isinstance(expr, A.Not):
+            return not truthy(self._eval(expr.expr, env))
+        if isinstance(expr, A.Or):
+            left = self._eval(expr.left, env)
+            if truthy(left):
+                return left
+            return self._eval(expr.right, env)
+        if isinstance(expr, A.MethodDef):
+            return self._eval(expr.body, env)
+        raise SynRuntimeError(f"cannot evaluate {expr!r}")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _const(self, name: str) -> Any:
+        pyclass = self.class_table.pyclass(name)
+        if pyclass is not None:
+            return pyclass
+        if self.class_table.has_class(name):
+            return ClassValue(name)
+        raise SynRuntimeError(f"unknown constant {name}")
+
+    def _call(self, expr: A.MethodCall, env: Dict[str, Any]) -> Any:
+        self._calls += 1
+        if self._calls > self.max_calls:
+            raise SynRuntimeError("call budget exhausted")
+
+        receiver = self._eval(expr.receiver, env)
+        args = [self._eval(arg, env) for arg in expr.args]
+        return self.call_method(receiver, expr.name, args)
+
+    def call_method(self, receiver: Any, name: str, args: list[Any]) -> Any:
+        """Dispatch ``receiver.name(*args)`` through the class table."""
+
+        cls_name = V.class_name_of_value(receiver)
+        singleton = V.is_class_value(receiver)
+        sig = self._lookup(cls_name, name, singleton)
+        if sig is None:
+            raise NoMethodError(cls_name, name)
+
+        resolved = self.class_table.resolve(sig, _receiver_type(receiver, cls_name, singleton))
+        log_effect(resolved.effects.read, resolved.effects.write)
+
+        if sig.impl is None:
+            raise SynRuntimeError(
+                f"method {sig.qualified_name} has no implementation"
+            )
+        try:
+            return sig.impl(self, receiver, *args)
+        except (SynRuntimeError, NoMethodError):
+            raise
+        except (TypeError, ValueError, KeyError, AttributeError, IndexError) as exc:
+            raise SynRuntimeError(
+                f"error calling {sig.qualified_name}: {exc}"
+            ) from exc
+
+    def _lookup(self, cls_name: str, name: str, singleton: bool) -> Optional[MethodSig]:
+        if self.class_table.has_class(cls_name):
+            return self.class_table.lookup(cls_name, name, singleton)
+        return None
+
+
+def _receiver_type(receiver: Any, cls_name: str, singleton: bool):
+    from repro.lang import types as T
+
+    if singleton:
+        return T.SingletonClassType(cls_name)
+    if isinstance(receiver, HashValue):
+        return V.type_of_value(receiver)
+    return T.ClassType(cls_name)

@@ -1,0 +1,19 @@
+"""Core language of the reproduction: the lambda-syn calculus.
+
+The paper formalizes RbSyn on a small object-oriented calculus called
+``lambda_syn`` (Figure 3).  This package implements that calculus:
+
+* :mod:`repro.lang.types` -- the type lattice (nominal classes, unions,
+  singleton class types, singleton symbol types, finite hash types).
+* :mod:`repro.lang.effects` -- the effect lattice (``pure``, ``A.r``, ``A.*``,
+  ``*``) with subsumption, unions, and precision coarsening.
+* :mod:`repro.lang.ast` -- expression nodes, including typed holes and effect
+  holes, with size metrics and hole traversal utilities.
+* :mod:`repro.lang.values` -- runtime values and value-to-type reflection.
+* :mod:`repro.lang.pretty` -- a Ruby-flavoured pretty printer so synthesized
+  programs read like the paper's figures.
+"""
+
+from repro.lang import ast, effects, pretty, types, values
+
+__all__ = ["ast", "effects", "pretty", "types", "values"]

@@ -1,0 +1,490 @@
+"""Abstract syntax of lambda-syn expressions and programs.
+
+Grammar (Figure 3 of the paper), extended with the implementation-level forms
+that Section 4 relies on (hash literals, symbol/string/integer constants and
+class-constant references):
+
+.. code-block:: text
+
+   e ::= nil | true | false | <int> | <str> | :<sym> | <Const>
+       | x | e; e | e.m(e, ...) | {k: e, ...}
+       | if b then e else e | let x = e in e
+       | [] : tau          (typed hole)
+       | <> : eps          (effect hole)
+   b ::= e | !b | b or b
+
+All nodes are frozen dataclasses, so structural equality and hashing come for
+free; the synthesizer relies on this to deduplicate candidates.
+
+Two utilities matter for synthesis:
+
+* :func:`first_hole` finds the left-most hole and reports the *path* to it
+  plus the ``let`` bindings in scope at that position, so the enumerator can
+  extend the type environment correctly (rule T-Let).
+* :func:`replace_at` rebuilds the expression with a replacement spliced in at
+  a path, leaving every other node shared.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.lang.effects import Effect
+from repro.lang.types import Type
+
+
+class Node:
+    """Base class for all AST nodes.
+
+    Leaf nodes have no children; compound nodes override :meth:`children`.
+    Structural metrics (:func:`node_count`, :func:`has_holes`) are memoized
+    on the node -- nodes are immutable, so the cached values stay valid even
+    though subtrees are shared across many candidates.
+    """
+
+    def children(self) -> Tuple[Tuple["Step", "Node"], ...]:
+        """``(step, child)`` pairs in evaluation order (empty for leaves)."""
+
+        return ()
+
+    def __str__(self) -> str:
+        from repro.lang.pretty import pretty
+
+        return pretty(self)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One step of a path: an attribute name plus an optional tuple index."""
+
+    attr: str
+    index: Optional[int] = None
+
+
+Path = Tuple[Step, ...]
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NilLit(Node):
+    """The literal ``nil``."""
+
+
+@dataclass(frozen=True)
+class BoolLit(Node):
+    value: bool
+
+
+@dataclass(frozen=True)
+class IntLit(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class StrLit(Node):
+    value: str
+
+
+@dataclass(frozen=True)
+class SymLit(Node):
+    """A symbol literal ``:name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ConstRef(Node):
+    """A reference to a class constant such as ``Post``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Var(Node):
+    name: str
+
+
+# ---------------------------------------------------------------------------
+# Holes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypedHole(Node):
+    """A typed hole ``[]:tau`` to be filled by an expression of type ``tau``."""
+
+    type: Type
+
+
+@dataclass(frozen=True)
+class EffectHole(Node):
+    """An effect hole ``<>:eps`` to be filled by code with write effect ``eps``."""
+
+    effect: Effect
+
+
+# ---------------------------------------------------------------------------
+# Compound expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Seq(Node):
+    """Sequencing ``first; second``; evaluates to ``second``."""
+
+    first: Node
+    second: Node
+
+    def children(self) -> Tuple[Tuple[Step, Node], ...]:
+        return ((Step("first"), self.first), (Step("second"), self.second))
+
+
+@dataclass(frozen=True)
+class Let(Node):
+    """``let var = value in body``."""
+
+    var: str
+    value: Node
+    body: Node
+
+    def children(self) -> Tuple[Tuple[Step, Node], ...]:
+        return ((Step("value"), self.value), (Step("body"), self.body))
+
+
+@dataclass(frozen=True)
+class MethodCall(Node):
+    """A method call ``receiver.name(args...)``."""
+
+    receiver: Node
+    name: str
+    args: Tuple[Node, ...] = ()
+
+    def children(self) -> Tuple[Tuple[Step, Node], ...]:
+        pairs = [(Step("receiver"), self.receiver)]
+        pairs.extend((Step("args", i), arg) for i, arg in enumerate(self.args))
+        return tuple(pairs)
+
+
+@dataclass(frozen=True)
+class HashLit(Node):
+    """A hash literal ``{key: value, ...}`` with symbol keys."""
+
+    entries: Tuple[Tuple[str, Node], ...] = ()
+
+    def children(self) -> Tuple[Tuple[Step, Node], ...]:
+        return tuple(
+            (Step("entries", i), value) for i, (_, value) in enumerate(self.entries)
+        )
+
+
+@dataclass(frozen=True)
+class If(Node):
+    """``if cond then then_branch else else_branch``."""
+
+    cond: Node
+    then_branch: Node
+    else_branch: Node
+
+    def children(self) -> Tuple[Tuple[Step, Node], ...]:
+        return (
+            (Step("cond"), self.cond),
+            (Step("then_branch"), self.then_branch),
+            (Step("else_branch"), self.else_branch),
+        )
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    """Guard negation ``!b``."""
+
+    expr: Node
+
+    def children(self) -> Tuple[Tuple[Step, Node], ...]:
+        return ((Step("expr"), self.expr),)
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    """Guard disjunction ``b1 or b2``."""
+
+    left: Node
+    right: Node
+
+    def children(self) -> Tuple[Tuple[Step, Node], ...]:
+        return ((Step("left"), self.left), (Step("right"), self.right))
+
+
+@dataclass(frozen=True)
+class MethodDef(Node):
+    """A synthesized program ``def name(params...) = body``."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Node
+
+    def children(self) -> Tuple[Tuple[Step, Node], ...]:
+        return ((Step("body"), self.body),)
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal utilities
+# ---------------------------------------------------------------------------
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and all of its descendants in pre-order."""
+
+    yield node
+    for _, child in node.children():
+        yield from walk(child)
+
+
+def size(node: Node) -> int:
+    """The program-size metric used to order the work list.
+
+    Mirrors the paper's ``size`` function (Figure 12): leaves and binders
+    count zero; each method call contributes one; sequences, lets, ifs and
+    guard connectives contribute the sum of their parts.  We additionally
+    count hash literal entries so that larger keyword hashes are explored
+    after smaller ones.
+    """
+
+    if isinstance(node, MethodCall):
+        return 1 + size(node.receiver) + sum(size(a) for a in node.args)
+    if isinstance(node, Seq):
+        return size(node.first) + size(node.second)
+    if isinstance(node, Let):
+        return size(node.value) + size(node.body)
+    if isinstance(node, If):
+        return size(node.cond) + size(node.then_branch) + size(node.else_branch)
+    if isinstance(node, Not):
+        return size(node.expr)
+    if isinstance(node, Or):
+        return size(node.left) + size(node.right)
+    if isinstance(node, HashLit):
+        return len(node.entries) + sum(size(v) for _, v in node.entries)
+    if isinstance(node, MethodDef):
+        return size(node.body)
+    return 0
+
+
+def node_count(node: Node) -> int:
+    """Number of AST nodes, the "Meth Size" metric reported in Table 1.
+
+    Memoized on the (immutable) node because the work list consults it for
+    every push.
+    """
+
+    cached = node.__dict__.get("_node_count") if hasattr(node, "__dict__") else None
+    if cached is not None:
+        return cached
+    count = 1 + sum(node_count(child) for _, child in node.children())
+    object.__setattr__(node, "_node_count", count)
+    return count
+
+
+def count_holes(node: Node) -> int:
+    return sum(1 for n in walk(node) if isinstance(n, (TypedHole, EffectHole)))
+
+
+def has_holes(node: Node) -> bool:
+    """Negation of the paper's ``evaluable`` predicate (Figure 12); memoized."""
+
+    cached = node.__dict__.get("_has_holes") if hasattr(node, "__dict__") else None
+    if cached is not None:
+        return cached
+    result = isinstance(node, (TypedHole, EffectHole)) or any(
+        has_holes(child) for _, child in node.children()
+    )
+    object.__setattr__(node, "_has_holes", result)
+    return result
+
+
+def count_paths(node: Node) -> int:
+    """Number of control-flow paths through an expression (Table 1, # Paths)."""
+
+    if isinstance(node, If):
+        return count_paths(node.then_branch) + count_paths(node.else_branch)
+    if isinstance(node, Seq):
+        return count_paths(node.first) * count_paths(node.second)
+    if isinstance(node, Let):
+        return count_paths(node.value) * count_paths(node.body)
+    if isinstance(node, MethodDef):
+        return count_paths(node.body)
+    return 1
+
+
+def free_variables(node: Node, bound: frozenset[str] = frozenset()) -> frozenset[str]:
+    """The free variables of an expression (used by merge-time sanity checks)."""
+
+    if isinstance(node, Var):
+        return frozenset() if node.name in bound else frozenset({node.name})
+    if isinstance(node, Let):
+        return free_variables(node.value, bound) | free_variables(
+            node.body, bound | {node.var}
+        )
+    result: frozenset[str] = frozenset()
+    for _, child in node.children():
+        result |= free_variables(child, bound)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Hole location and replacement
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HoleSite:
+    """A located hole: the hole node, its path, and the binders in scope.
+
+    ``bindings`` lists the enclosing ``let`` binders from outermost to
+    innermost as ``(name, value_expression)`` pairs; the enumerator
+    typechecks the value expressions to extend the type environment at the
+    hole (rule T-Let).
+    """
+
+    hole: Union[TypedHole, EffectHole]
+    path: Path
+    bindings: Tuple[Tuple[str, Node], ...] = ()
+
+
+def iter_holes(node: Node) -> Iterator[HoleSite]:
+    """Yield every hole in left-to-right evaluation order."""
+
+    yield from _iter_holes(node, (), ())
+
+
+def _iter_holes(
+    node: Node, path: Path, bindings: Tuple[Tuple[str, Node], ...]
+) -> Iterator[HoleSite]:
+    if isinstance(node, (TypedHole, EffectHole)):
+        yield HoleSite(node, path, bindings)
+        return
+    if isinstance(node, Let):
+        yield from _iter_holes(node.value, path + (Step("value"),), bindings)
+        yield from _iter_holes(
+            node.body, path + (Step("body"),), bindings + ((node.var, node.value),)
+        )
+        return
+    for step, child in node.children():
+        yield from _iter_holes(child, path + (step,), bindings)
+
+
+def first_hole(node: Node) -> Optional[HoleSite]:
+    """The left-most hole of ``node``, or ``None`` if the node is evaluable."""
+
+    for site in iter_holes(node):
+        return site
+    return None
+
+
+def replace_at(node: Node, path: Path, replacement: Node) -> Node:
+    """Rebuild ``node`` with ``replacement`` spliced in at ``path``."""
+
+    if not path:
+        return replacement
+    step, rest = path[0], path[1:]
+    value = getattr(node, step.attr)
+    if step.index is None:
+        new_value: object = replace_at(value, rest, replacement)
+    else:
+        items = list(value)
+        item = items[step.index]
+        if isinstance(item, Node):
+            items[step.index] = replace_at(item, rest, replacement)
+        else:
+            # Hash entry: (key, value-node).
+            key, sub = item
+            items[step.index] = (key, replace_at(sub, rest, replacement))
+        new_value = tuple(items)
+    return dataclasses.replace(node, **{step.attr: new_value})
+
+
+def fill_first_hole(node: Node, replacement: Node) -> Node:
+    """Replace the left-most hole of ``node`` with ``replacement``."""
+
+    site = first_hole(node)
+    if site is None:
+        raise ValueError("expression has no holes")
+    return replace_at(node, site.path, replacement)
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+def _install_hash_caching() -> None:
+    """Replace each node class's generated ``__hash__`` with a caching one.
+
+    Candidate expressions are hashed constantly (work-list dedup sets, the
+    enumerator's seen sets); recomputing the structural hash of a deep tree
+    every time dominates the profile, so the hash is computed once per node
+    and stashed on the instance.
+    """
+
+    node_classes = (
+        NilLit, BoolLit, IntLit, StrLit, SymLit, ConstRef, Var,
+        TypedHole, EffectHole, Seq, Let, MethodCall, HashLit, If, Not, Or,
+        MethodDef, Step,
+    )
+    for cls in node_classes:
+        original = cls.__hash__
+
+        def cached_hash(self, _original=original):
+            value = self.__dict__.get("_hash")
+            if value is None:
+                value = _original(self)
+                object.__setattr__(self, "_hash", value)
+            return value
+
+        cls.__hash__ = cached_hash  # type: ignore[assignment]
+
+
+_install_hash_caching()
+
+NIL = NilLit()
+TRUE = BoolLit(True)
+FALSE = BoolLit(False)
+
+
+def seq(*exprs: Node) -> Node:
+    """Right-nest a sequence of expressions; a single expression is returned
+    unchanged."""
+
+    if not exprs:
+        raise ValueError("seq() requires at least one expression")
+    result = exprs[-1]
+    for e in reversed(exprs[:-1]):
+        result = Seq(e, result)
+    return result
+
+
+def call(receiver: Node, name: str, *args: Node) -> MethodCall:
+    return MethodCall(receiver, name, tuple(args))
+
+
+def hash_lit(**entries: Node) -> HashLit:
+    return HashLit(tuple(entries.items()))
+
+
+def fresh_name(prefix: str, taken: Sequence[str]) -> str:
+    """Generate ``t0``, ``t1``, ... style names avoiding ``taken``."""
+
+    taken_set = set(taken)
+    i = 0
+    while f"{prefix}{i}" in taken_set:
+        i += 1
+    return f"{prefix}{i}"
+
+
+def bound_names(node: Node) -> List[str]:
+    """All names bound by ``let`` anywhere in the expression."""
+
+    return [n.var for n in walk(node) if isinstance(n, Let)]

@@ -1,0 +1,289 @@
+"""The effect language of lambda-syn.
+
+Effects (Figure 3) are hierarchical names that abstractly label program
+state:
+
+* ``pure`` (written ``•`` in the paper) -- no side effect;
+* ``A.r``  -- code that touches region ``r`` of class ``A``;
+* ``A.*``  -- code that touches *some* state of class ``A``;
+* ``*``    -- the top effect, code that may touch any state;
+* unions of the above.
+
+Subsumption ``e1 <= e2`` follows the paper: ``pure`` is bottom, ``*`` is top,
+and region/class effects respect the class hierarchy (``A1.r <= A2.r`` and
+``A1.r <= A2.*`` and ``A1.* <= A2.*`` when ``A1`` is a subclass of ``A2``).
+
+Method annotations pair a read effect with a write effect.  The special
+receiver class ``self`` is resolved against the concrete receiver class when
+library annotations are instantiated for a model class (Section 4, "self
+effect region").
+
+The module also implements the *coarsening* transformations used in the
+Figure 8 experiment: precise region effects can be weakened to class-only
+effects or all the way down to purity/impurity annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.lang.types import ClassHierarchy, _hierarchy
+
+#: Placeholder class name in annotations resolved to the receiver's class.
+SELF_CLASS = "self"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A single effect atom ``cls.region``; ``region=None`` means ``cls.*``."""
+
+    cls: str
+    region: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.region is None:
+            return self.cls
+        return f"{self.cls}.{self.region}"
+
+
+@dataclass(frozen=True)
+class Effect:
+    """An effect: ``pure``, ``*``, or a union of regions.
+
+    ``is_star`` dominates ``regions``; a pure effect has ``is_star=False``
+    and no regions.
+    """
+
+    regions: FrozenSet[Region] = frozenset()
+    is_star: bool = False
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def pure() -> "Effect":
+        return _PURE
+
+    @staticmethod
+    def star() -> "Effect":
+        return _STAR
+
+    @staticmethod
+    def of(*labels: str) -> "Effect":
+        """Build an effect from labels like ``"Post.title"`` or ``"Post"``.
+
+        ``"*"`` yields the top effect and the empty argument list yields the
+        pure effect, mirroring the annotation surface syntax in Section 4.
+        """
+
+        regions: set[Region] = set()
+        for label in labels:
+            label = label.strip()
+            if not label:
+                continue
+            if label in ("*", "impure"):
+                return _STAR
+            if label in (".", "pure"):
+                continue
+            if "." in label:
+                cls, _, region = label.partition(".")
+                if region == "*" or region == "":
+                    regions.add(Region(cls))
+                else:
+                    regions.add(Region(cls, region))
+            else:
+                regions.add(Region(label))
+        return Effect(frozenset(regions))
+
+    @staticmethod
+    def region(cls: str, region: Optional[str] = None) -> "Effect":
+        return Effect(frozenset({Region(cls, region)}))
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_pure(self) -> bool:
+        return not self.is_star and not self.regions
+
+    # -- operations ---------------------------------------------------------
+
+    def union(self, other: "Effect") -> "Effect":
+        if self.is_star or other.is_star:
+            return _STAR
+        return Effect(self.regions | other.regions)
+
+    def __or__(self, other: "Effect") -> "Effect":
+        return self.union(other)
+
+    def resolve_self(self, receiver_cls: str) -> "Effect":
+        """Substitute the ``self`` placeholder with the receiver class."""
+
+        if self.is_star or not self.regions:
+            return self
+        resolved = frozenset(
+            Region(receiver_cls if r.cls == SELF_CLASS else r.cls, r.region)
+            for r in self.regions
+        )
+        return Effect(resolved)
+
+    def classes(self) -> FrozenSet[str]:
+        return frozenset(r.cls for r in self.regions)
+
+    def __str__(self) -> str:
+        if self.is_star:
+            return "*"
+        if not self.regions:
+            return "pure"
+        return " | ".join(sorted(str(r) for r in self.regions))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Effect({self})"
+
+
+_PURE = Effect()
+_STAR = Effect(frozenset(), True)
+
+PURE = _PURE
+STAR = _STAR
+
+
+# ---------------------------------------------------------------------------
+# Subsumption
+# ---------------------------------------------------------------------------
+
+
+def region_subsumed(
+    r1: Region, r2: Region, ct: Optional[ClassHierarchy] = None
+) -> bool:
+    """Whether atom ``r1`` is covered by atom ``r2``.
+
+    ``A1.r <= A2.r``, ``A1.r <= A2.*`` and ``A1.* <= A2.*`` when
+    ``A1 <= A2`` in the class hierarchy; a class-level effect is *not*
+    covered by a single region of the same class.
+    """
+
+    hierarchy = _hierarchy(ct)
+    if not hierarchy.is_subclass(r1.cls, r2.cls):
+        return False
+    if r2.region is None:
+        return True
+    if r1.region is None:
+        return False
+    return r1.region == r2.region
+
+
+def subsumed(e1: Effect, e2: Effect, ct: Optional[ClassHierarchy] = None) -> bool:
+    """Effect subsumption ``e1 <= e2`` from Figure 3."""
+
+    if e1.is_pure:
+        return True
+    if e2.is_star:
+        return True
+    if e1.is_star:
+        return False
+    return all(
+        any(region_subsumed(r1, r2, ct) for r2 in e2.regions) for r1 in e1.regions
+    )
+
+
+def overlaps(e1: Effect, e2: Effect, ct: Optional[ClassHierarchy] = None) -> bool:
+    """Whether two effects may touch common state.
+
+    This is the check used by effect-guided synthesis: an assertion that
+    *reads* ``e1`` may be fixed by a method that *writes* ``e2`` when some
+    read atom is covered by some write atom (or either side is ``*``).
+    Pure effects never overlap anything.
+    """
+
+    if e1.is_pure or e2.is_pure:
+        return False
+    if e1.is_star or e2.is_star:
+        return True
+    for r1 in e1.regions:
+        for r2 in e2.regions:
+            if region_subsumed(r1, r2, ct) or region_subsumed(r2, r1, ct):
+                return True
+    return False
+
+
+@dataclass(frozen=True)
+class EffectPair:
+    """A method's ``<read, write>`` effect annotation."""
+
+    read: Effect = PURE
+    write: Effect = PURE
+
+    @staticmethod
+    def pure() -> "EffectPair":
+        return EffectPair()
+
+    @staticmethod
+    def of(
+        read: Iterable[str] | str | Effect = (),
+        write: Iterable[str] | str | Effect = (),
+    ) -> "EffectPair":
+        return EffectPair(_as_effect(read), _as_effect(write))
+
+    @property
+    def is_pure(self) -> bool:
+        return self.read.is_pure and self.write.is_pure
+
+    def union(self, other: "EffectPair") -> "EffectPair":
+        return EffectPair(self.read | other.read, self.write | other.write)
+
+    def resolve_self(self, receiver_cls: str) -> "EffectPair":
+        return EffectPair(
+            self.read.resolve_self(receiver_cls),
+            self.write.resolve_self(receiver_cls),
+        )
+
+    def __str__(self) -> str:
+        return f"<read: {self.read}, write: {self.write}>"
+
+
+def _as_effect(value: Iterable[str] | str | Effect) -> Effect:
+    if isinstance(value, Effect):
+        return value
+    if isinstance(value, str):
+        return Effect.of(value)
+    return Effect.of(*value)
+
+
+# ---------------------------------------------------------------------------
+# Precision coarsening (Figure 8 experiment)
+# ---------------------------------------------------------------------------
+
+PRECISION_PRECISE = "precise"
+PRECISION_CLASS = "class"
+PRECISION_PURITY = "purity"
+
+PRECISIONS: Tuple[str, ...] = (
+    PRECISION_PRECISE,
+    PRECISION_CLASS,
+    PRECISION_PURITY,
+)
+
+
+def coarsen(effect: Effect, precision: str) -> Effect:
+    """Weaken ``effect`` to the requested annotation precision.
+
+    * ``precise`` -- unchanged;
+    * ``class``   -- drop region names, keeping class-level effects only;
+    * ``purity``  -- any impure effect becomes the top effect ``*``.
+    """
+
+    if precision == PRECISION_PRECISE:
+        return effect
+    if precision == PRECISION_CLASS:
+        if effect.is_star or effect.is_pure:
+            return effect
+        return Effect(frozenset(Region(r.cls) for r in effect.regions))
+    if precision == PRECISION_PURITY:
+        if effect.is_pure:
+            return effect
+        return STAR
+    raise ValueError(f"unknown effect precision: {precision!r}")
+
+
+def coarsen_pair(pair: EffectPair, precision: str) -> EffectPair:
+    return EffectPair(coarsen(pair.read, precision), coarsen(pair.write, precision))

@@ -1,0 +1,158 @@
+"""Ruby-flavoured pretty printer for lambda-syn programs.
+
+Synthesized programs are rendered in the same style as the paper's figures,
+for example the final program of Figure 2::
+
+    def update_post(arg0, arg1, arg2)
+      if Post.exists?(author: arg0, slug: arg1)
+        t0 = Post.where(slug: arg1).first
+        t0.title = arg2[:title]
+        t0
+      else
+        Post.where(slug: arg1).first
+      end
+    end
+
+Two entry points are provided: :func:`pretty` produces a single-line rendering
+(used by ``__str__`` and the search logs) and :func:`pretty_block` produces an
+indented multi-line rendering (used by examples and reports).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast as A
+
+#: Method names rendered with operator/assignment syntax.
+_INDEX_METHOD = "[]"
+_INDEX_SET_METHOD = "[]="
+_OPERATORS = {"+", "-", "*", "/", "==", "!=", "<", ">", "<=", ">=", "<<"}
+
+
+def pretty(node: A.Node) -> str:
+    """Render ``node`` on a single line."""
+
+    return _Printer(inline=True).expr(node)
+
+
+def pretty_block(node: A.Node, indent: int = 0) -> str:
+    """Render ``node`` as an indented multi-line block."""
+
+    printer = _Printer(inline=False)
+    if isinstance(node, A.MethodDef):
+        return printer.method_def(node, indent)
+    lines = printer.block(node, indent)
+    return "\n".join(lines)
+
+
+class _Printer:
+    def __init__(self, inline: bool) -> None:
+        self.inline = inline
+
+    # -- single-line expressions -------------------------------------------
+
+    def expr(self, node: A.Node) -> str:
+        if isinstance(node, A.NilLit):
+            return "nil"
+        if isinstance(node, A.BoolLit):
+            return "true" if node.value else "false"
+        if isinstance(node, A.IntLit):
+            return str(node.value)
+        if isinstance(node, A.StrLit):
+            escaped = node.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        if isinstance(node, A.SymLit):
+            return f":{node.name}"
+        if isinstance(node, A.ConstRef):
+            return node.name
+        if isinstance(node, A.Var):
+            return node.name
+        if isinstance(node, A.TypedHole):
+            return f"(□:{node.type})"
+        if isinstance(node, A.EffectHole):
+            return f"(◇:{node.effect})"
+        if isinstance(node, A.HashLit):
+            inner = ", ".join(f"{k}: {self.expr(v)}" for k, v in node.entries)
+            return "{" + inner + "}"
+        if isinstance(node, A.MethodCall):
+            return self._call(node)
+        if isinstance(node, A.Seq):
+            return f"{self.expr(node.first)}; {self.expr(node.second)}"
+        if isinstance(node, A.Let):
+            return f"{node.var} = {self.expr(node.value)}; {self.expr(node.body)}"
+        if isinstance(node, A.If):
+            return (
+                f"if {self.expr(node.cond)} then {self.expr(node.then_branch)} "
+                f"else {self.expr(node.else_branch)} end"
+            )
+        if isinstance(node, A.Not):
+            return f"!{self._atom(node.expr)}"
+        if isinstance(node, A.Or):
+            return f"{self._atom(node.left)} || {self._atom(node.right)}"
+        if isinstance(node, A.MethodDef):
+            params = ", ".join(node.params)
+            return f"def {node.name}({params}) = {self.expr(node.body)}"
+        raise TypeError(f"cannot pretty-print {node!r}")  # pragma: no cover
+
+    def _atom(self, node: A.Node) -> str:
+        text = self.expr(node)
+        if isinstance(node, (A.Seq, A.Let, A.If, A.Or)):
+            return f"({text})"
+        return text
+
+    def _call(self, node: A.MethodCall) -> str:
+        recv = self._receiver(node.receiver)
+        args = [self.expr(a) for a in node.args]
+        name = node.name
+        if name == _INDEX_METHOD and len(args) == 1:
+            return f"{recv}[{args[0]}]"
+        if name == _INDEX_SET_METHOD and len(args) == 2:
+            return f"{recv}[{args[0]}] = {args[1]}"
+        if name.endswith("=") and not name.endswith("==") and len(args) == 1:
+            return f"{recv}.{name[:-1]} = {args[0]}"
+        if name in _OPERATORS and len(args) == 1:
+            return f"{recv} {name} {args[0]}"
+        if not args:
+            return f"{recv}.{name}"
+        # Render a sole hash argument with Ruby keyword-argument syntax.
+        if len(node.args) == 1 and isinstance(node.args[0], A.HashLit):
+            inner = ", ".join(
+                f"{k}: {self.expr(v)}" for k, v in node.args[0].entries
+            )
+            return f"{recv}.{name}({inner})"
+        return f"{recv}.{name}({', '.join(args)})"
+
+    def _receiver(self, node: A.Node) -> str:
+        text = self.expr(node)
+        if isinstance(node, (A.Seq, A.Let, A.If, A.Or, A.Not)):
+            return f"({text})"
+        return text
+
+    # -- multi-line blocks ---------------------------------------------------
+
+    def block(self, node: A.Node, indent: int) -> List[str]:
+        pad = "  " * indent
+        if isinstance(node, A.Seq):
+            return self.block(node.first, indent) + self.block(node.second, indent)
+        if isinstance(node, A.Let):
+            lines = [f"{pad}{node.var} = {self.expr(node.value)}"]
+            lines += self.block(node.body, indent)
+            return lines
+        if isinstance(node, A.If):
+            lines = [f"{pad}if {self.expr(node.cond)}"]
+            lines += self.block(node.then_branch, indent + 1)
+            if not isinstance(node.else_branch, A.NilLit):
+                lines.append(f"{pad}else")
+                lines += self.block(node.else_branch, indent + 1)
+            lines.append(f"{pad}end")
+            return lines
+        return [f"{pad}{self.expr(node)}"]
+
+    def method_def(self, node: A.MethodDef, indent: int) -> str:
+        pad = "  " * indent
+        params = ", ".join(node.params)
+        lines = [f"{pad}def {node.name}({params})"]
+        lines += self.block(node.body, indent + 1)
+        lines.append(f"{pad}end")
+        return "\n".join(lines)

@@ -1,0 +1,389 @@
+"""The type language of lambda-syn.
+
+Types (Figure 3 of the paper) are nominal classes and unions of types.  The
+implementation section (Section 4) additionally relies on a few RDL features
+that we reproduce here because the benchmarks need them:
+
+* singleton class types ``Class<Post>`` -- the type of the constant ``Post``
+  itself, used to call class ("singleton") methods such as ``Post.where``;
+* singleton symbol types ``:title`` -- used to type the keys of finite hashes
+  and to enumerate the possible arguments of ``Hash#[]``;
+* finite hash types ``{author: ?Str, title: ?Str}`` -- optional keys are
+  marked with ``?`` in the RDL surface syntax.
+
+Subtyping needs the class hierarchy, which lives in the
+:class:`~repro.typesys.class_table.ClassTable`.  To keep this module free of
+import cycles the functions here accept any object implementing
+``is_subclass(sub, sup)``; ``None`` may be passed to get the builtin-only
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Protocol, Tuple
+
+
+class ClassHierarchy(Protocol):
+    """Minimal interface the type lattice needs from a class table."""
+
+    def is_subclass(self, sub: str, sup: str) -> bool:  # pragma: no cover
+        ...
+
+
+#: Names of the classes that always exist, with their superclasses.
+BUILTIN_CLASSES: dict[str, Optional[str]] = {
+    "Object": None,
+    "NilClass": "Object",
+    "Boolean": "Object",
+    "TrueClass": "Boolean",
+    "FalseClass": "Boolean",
+    "Integer": "Object",
+    "Float": "Object",
+    "String": "Object",
+    "Symbol": "Object",
+    "Hash": "Object",
+    "Array": "Object",
+    "Class": "Object",
+    "Error": "Object",
+}
+
+#: Short RDL-style aliases accepted by the signature parser.
+TYPE_ALIASES: dict[str, str] = {
+    "Str": "String",
+    "Int": "Integer",
+    "Bool": "Boolean",
+    "Nil": "NilClass",
+    "Obj": "Object",
+    "%bool": "Boolean",
+}
+
+
+class Type:
+    """Base class of all lambda-syn types."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.__class__.__name__} {self}>"
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    """A nominal class type such as ``Post`` or ``String``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SingletonClassType(Type):
+    """The singleton type of the class constant, i.e. ``Class<Post>``.
+
+    A typed hole of this type can only be filled by the class constant
+    itself, which is how the search in Figure 2 fills the receiver of
+    ``(□:Class<Post>).first`` with ``Post``.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"Class<{self.name}>"
+
+
+@dataclass(frozen=True)
+class SymbolType(Type):
+    """A singleton symbol type such as ``:title``.
+
+    The plain ``Symbol`` class is the type of all symbols; ``SymbolType`` is
+    the singleton type of one specific symbol and is a subtype of ``Symbol``.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f":{self.name}"
+
+
+@dataclass(frozen=True)
+class UnionType(Type):
+    """A union ``t1 or t2 or ...`` of at least two member types."""
+
+    members: Tuple[Type, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError("UnionType requires at least two members")
+
+    def __str__(self) -> str:
+        return " or ".join(str(m) for m in sorted(self.members, key=str))
+
+
+@dataclass(frozen=True)
+class FiniteHashType(Type):
+    """A finite hash type ``{author: ?Str, title: Str}``.
+
+    ``required`` and ``optional`` map symbol names to value types.  The two
+    maps never share keys.  A finite hash type is a subtype of ``Hash``.
+    """
+
+    required: Tuple[Tuple[str, Type], ...]
+    optional: Tuple[Tuple[str, Type], ...] = ()
+
+    @staticmethod
+    def make(
+        required: Optional[Mapping[str, Type]] = None,
+        optional: Optional[Mapping[str, Type]] = None,
+    ) -> "FiniteHashType":
+        req = tuple(sorted((required or {}).items()))
+        opt = tuple(sorted((optional or {}).items()))
+        overlap = {k for k, _ in req} & {k for k, _ in opt}
+        if overlap:
+            raise ValueError(f"keys both required and optional: {sorted(overlap)}")
+        return FiniteHashType(req, opt)
+
+    @property
+    def required_map(self) -> dict[str, Type]:
+        return dict(self.required)
+
+    @property
+    def optional_map(self) -> dict[str, Type]:
+        return dict(self.optional)
+
+    @property
+    def all_keys(self) -> dict[str, Type]:
+        merged = dict(self.required)
+        merged.update(self.optional)
+        return merged
+
+    def value_type(self, key: str) -> Optional[Type]:
+        return self.all_keys.get(key)
+
+    def __str__(self) -> str:
+        parts = [f"{k}: {v}" for k, v in self.required]
+        parts += [f"{k}: ?{v}" for k, v in self.optional]
+        return "{" + ", ".join(parts) + "}"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors / well-known types
+# ---------------------------------------------------------------------------
+
+OBJECT = ClassType("Object")
+NIL = ClassType("NilClass")
+BOOL = ClassType("Boolean")
+TRUE_CLASS = ClassType("TrueClass")
+FALSE_CLASS = ClassType("FalseClass")
+INT = ClassType("Integer")
+FLOAT = ClassType("Float")
+STRING = ClassType("String")
+SYMBOL = ClassType("Symbol")
+HASH = ClassType("Hash")
+ARRAY = ClassType("Array")
+ERROR = ClassType("Error")
+
+
+def _install_hash_caching() -> None:
+    """Cache structural hashes of composite types (hot in synthesis caches)."""
+
+    for cls in (ClassType, SingletonClassType, SymbolType, UnionType, FiniteHashType):
+        original = cls.__hash__
+
+        def cached_hash(self, _original=original):
+            value = self.__dict__.get("_hash")
+            if value is None:
+                value = _original(self)
+                object.__setattr__(self, "_hash", value)
+            return value
+
+        cls.__hash__ = cached_hash  # type: ignore[assignment]
+
+
+_install_hash_caching()
+
+
+def class_type(name: str) -> ClassType:
+    """Build a :class:`ClassType`, resolving RDL aliases like ``Str``."""
+
+    return ClassType(TYPE_ALIASES.get(name, name))
+
+
+def union(*types: Type) -> Type:
+    """Build a union type, flattening nested unions and deduplicating.
+
+    Returns the single member when only one distinct type remains, which
+    keeps synthesized types small and printable.
+    """
+
+    flat: list[Type] = []
+    for t in types:
+        if isinstance(t, UnionType):
+            flat.extend(t.members)
+        else:
+            flat.append(t)
+    unique: list[Type] = []
+    for t in flat:
+        if t not in unique:
+            unique.append(t)
+    if not unique:
+        raise ValueError("union() requires at least one type")
+    if len(unique) == 1:
+        return unique[0]
+    return UnionType(tuple(sorted(unique, key=str)))
+
+
+def union_members(t: Type) -> Tuple[Type, ...]:
+    """Return the members of a union type, or ``(t,)`` for non-unions."""
+
+    if isinstance(t, UnionType):
+        return t.members
+    return (t,)
+
+
+# ---------------------------------------------------------------------------
+# Subtyping
+# ---------------------------------------------------------------------------
+
+
+class _BuiltinHierarchy:
+    """Fallback hierarchy over :data:`BUILTIN_CLASSES` only."""
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        if sup == "Object":
+            return True
+        cur: Optional[str] = sub
+        while cur is not None:
+            if cur == sup:
+                return True
+            cur = BUILTIN_CLASSES.get(cur)
+        return False
+
+
+_BUILTINS = _BuiltinHierarchy()
+
+
+def _hierarchy(ct: Optional[ClassHierarchy]) -> ClassHierarchy:
+    return ct if ct is not None else _BUILTINS
+
+
+def is_subtype(t1: Type, t2: Type, ct: Optional[ClassHierarchy] = None) -> bool:
+    """Return whether ``t1 <= t2`` in the lambda-syn type lattice.
+
+    ``NilClass`` is the bottom element and ``Object`` the top element
+    (Figure 3).  Unions follow the usual rules: a union on the left requires
+    every member to be a subtype; a union on the right requires some member
+    to be a supertype.
+    """
+
+    hierarchy = _hierarchy(ct)
+
+    if t1 == t2:
+        return True
+    # Nil is the bottom of the lattice, Object is the top.
+    if isinstance(t1, ClassType) and t1.name == "NilClass":
+        return True
+    if isinstance(t2, ClassType) and t2.name == "Object":
+        return True
+
+    if isinstance(t1, UnionType):
+        return all(is_subtype(m, t2, ct) for m in t1.members)
+    if isinstance(t2, UnionType):
+        return any(is_subtype(t1, m, ct) for m in t2.members)
+
+    if isinstance(t1, ClassType) and isinstance(t2, ClassType):
+        return hierarchy.is_subclass(t1.name, t2.name)
+
+    if isinstance(t1, SingletonClassType):
+        if isinstance(t2, SingletonClassType):
+            return t1.name == t2.name
+        if isinstance(t2, ClassType):
+            return hierarchy.is_subclass("Class", t2.name)
+        return False
+
+    if isinstance(t1, SymbolType):
+        if isinstance(t2, SymbolType):
+            return t1.name == t2.name
+        if isinstance(t2, ClassType):
+            return hierarchy.is_subclass("Symbol", t2.name)
+        return False
+
+    if isinstance(t1, FiniteHashType):
+        if isinstance(t2, ClassType):
+            return hierarchy.is_subclass("Hash", t2.name)
+        if isinstance(t2, FiniteHashType):
+            return _finite_hash_subtype(t1, t2, ct)
+        return False
+
+    return False
+
+
+def _finite_hash_subtype(
+    t1: FiniteHashType, t2: FiniteHashType, ct: Optional[ClassHierarchy]
+) -> bool:
+    """Width-and-depth subtyping for finite hash types.
+
+    ``t1 <= t2`` when (a) every required key of ``t2`` is a required key of
+    ``t1`` with a compatible value type and (b) every key of ``t1`` is
+    permitted by ``t2`` with a compatible value type.
+    """
+
+    t1_req = t1.required_map
+    t1_all = t1.all_keys
+    t2_req = t2.required_map
+    t2_all = t2.all_keys
+
+    for key, vt2 in t2_req.items():
+        vt1 = t1_req.get(key)
+        if vt1 is None or not is_subtype(vt1, vt2, ct):
+            return False
+    for key, vt1 in t1_all.items():
+        vt2 = t2_all.get(key)
+        if vt2 is None or not is_subtype(vt1, vt2, ct):
+            return False
+    return True
+
+
+def lub(t1: Type, t2: Type, ct: Optional[ClassHierarchy] = None) -> Type:
+    """Least upper bound used when typing ``if`` expressions (T-If).
+
+    The paper simply unions the branch types; we additionally collapse the
+    union when one side subsumes the other so printed types stay small.
+    """
+
+    if is_subtype(t1, t2, ct):
+        return t2
+    if is_subtype(t2, t1, ct):
+        return t1
+    return union(t1, t2)
+
+
+def is_boolish(t: Type, ct: Optional[ClassHierarchy] = None) -> bool:
+    """Whether expressions of type ``t`` are sensible branch conditions.
+
+    Conditionals in lambda-syn accept any expression (truthiness), but the
+    guard synthesizer restricts enumeration to boolean-or-nilable types, as
+    RbSyn does in practice.
+    """
+
+    for member in union_members(t):
+        if isinstance(member, ClassType) and member.name in (
+            "Boolean",
+            "TrueClass",
+            "FalseClass",
+            "NilClass",
+            "Object",
+        ):
+            return True
+    return False
+
+
+def type_names(t: Type) -> Iterable[str]:
+    """Yield the class names mentioned by ``t`` (used for diagnostics)."""
+
+    for member in union_members(t):
+        if isinstance(member, (ClassType, SingletonClassType)):
+            yield member.name
+        elif isinstance(member, SymbolType):
+            yield "Symbol"
+        elif isinstance(member, FiniteHashType):
+            yield "Hash"

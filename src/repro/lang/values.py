@@ -1,0 +1,200 @@
+"""Runtime values of lambda-syn and value-to-type reflection.
+
+Values (Figure 3) are ``nil``, ``true``, ``false`` and objects ``[A]``.  The
+implementation additionally manipulates integers, strings, symbols, hashes
+(keyword-argument literals) and the class constants themselves, so those are
+first-class runtime values too.
+
+We reuse Python's ``None``/``bool``/``int``/``str`` for the corresponding
+lambda-syn values.  Symbols are interned :class:`Symbol` objects, hashes are
+:class:`HashValue` (an insertion-ordered mapping from symbols to values), and
+objects of user classes are provided by the substrates (for example
+:class:`repro.activerecord.model.Model` instances).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.lang import types as T
+
+
+class Symbol:
+    """An interned Ruby-style symbol such as ``:title``."""
+
+    _interned: Dict[str, "Symbol"] = {}
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "Symbol":
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        sym = super().__new__(cls)
+        object.__setattr__(sym, "name", name)
+        cls._interned[name] = sym
+        return sym
+
+    def __setattr__(self, key: str, value: Any) -> None:  # pragma: no cover
+        raise AttributeError("Symbol instances are immutable")
+
+    def __repr__(self) -> str:
+        return f":{self.name}"
+
+    def __hash__(self) -> int:
+        return hash(("Symbol", self.name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Symbol) and other.name == self.name
+
+
+def sym(name: str) -> Symbol:
+    """Shorthand constructor for symbols."""
+
+    return Symbol(name)
+
+
+class HashValue:
+    """A finite hash value with symbol keys, e.g. ``{title: "Foo"}``."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Optional[Mapping[Symbol, Any]] = None) -> None:
+        self._entries: Dict[Symbol, Any] = dict(entries or {})
+
+    @staticmethod
+    def of(**kwargs: Any) -> "HashValue":
+        return HashValue({Symbol(k): v for k, v in kwargs.items()})
+
+    def get(self, key: Symbol, default: Any = None) -> Any:
+        return self._entries.get(key, default)
+
+    def __getitem__(self, key: Symbol) -> Any:
+        return self._entries.get(key)
+
+    def __contains__(self, key: Symbol) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[Tuple[Symbol, Any]]:
+        return iter(self._entries.items())
+
+    def keys(self) -> Iterator[Symbol]:
+        return iter(self._entries.keys())
+
+    def to_kwargs(self) -> Dict[str, Any]:
+        """Convert to a plain ``str -> value`` mapping for substrate calls."""
+
+        return {k.name: v for k, v in self._entries.items()}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashValue) and other._entries == self._entries
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k.name, repr(v)) for k, v in self._entries.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k.name}: {v!r}" for k, v in self._entries.items())
+        return "{" + inner + "}"
+
+
+class ClassValue:
+    """The runtime value of a class constant such as ``Post``.
+
+    Substrate classes (models, globals) provide their own class objects; this
+    wrapper is used for plain lambda-syn classes that have no Python-level
+    counterpart.  It mainly exists so the interpreter can dispatch singleton
+    (class) methods uniformly via :func:`class_name_of_value`.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClassValue) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("ClassValue", self.name))
+
+
+def truthy(value: Any) -> bool:
+    """Ruby-style truthiness: only ``nil`` and ``false`` are falsy."""
+
+    return value is not None and value is not False
+
+
+def class_name_of_value(value: Any) -> str:
+    """The lambda-syn class name of a runtime value.
+
+    Substrate objects may define ``syn_class_name`` (instances) or
+    ``syn_singleton_name`` (class objects) to control dispatch; otherwise the
+    builtin mapping is used.
+    """
+
+    if value is None:
+        return "NilClass"
+    if value is True:
+        return "TrueClass"
+    if value is False:
+        return "FalseClass"
+    if isinstance(value, bool):  # pragma: no cover - covered above
+        return "Boolean"
+    if isinstance(value, int):
+        return "Integer"
+    if isinstance(value, float):
+        return "Float"
+    if isinstance(value, str):
+        return "String"
+    if isinstance(value, Symbol):
+        return "Symbol"
+    if isinstance(value, HashValue):
+        return "Hash"
+    if isinstance(value, (list, tuple)):
+        return "Array"
+    if isinstance(value, ClassValue):
+        return value.name
+    if isinstance(value, type):
+        singleton = getattr(value, "syn_singleton_name", None)
+        if singleton is not None:
+            return singleton() if callable(singleton) else str(singleton)
+        return value.__name__
+    instance = getattr(value, "syn_class_name", None)
+    if instance is not None:
+        return instance() if callable(instance) else str(instance)
+    return type(value).__name__
+
+
+def is_class_value(value: Any) -> bool:
+    """Whether ``value`` is a class constant (receiver of singleton methods)."""
+
+    if isinstance(value, ClassValue):
+        return True
+    return isinstance(value, type) and getattr(value, "syn_singleton_name", None) is not None
+
+
+def type_of_value(value: Any) -> T.Type:
+    """Reflect a runtime value into the most precise lambda-syn type."""
+
+    if value is None:
+        return T.NIL
+    if value is True:
+        return T.TRUE_CLASS
+    if value is False:
+        return T.FALSE_CLASS
+    if isinstance(value, Symbol):
+        return T.SymbolType(value.name)
+    if isinstance(value, HashValue):
+        required = {k.name: type_of_value(v) for k, v in value.items()}
+        return T.FiniteHashType.make(required=required)
+    if is_class_value(value):
+        return T.SingletonClassType(class_name_of_value(value))
+    return T.ClassType(class_name_of_value(value))

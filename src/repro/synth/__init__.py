@@ -1,0 +1,34 @@
+"""The RbSyn synthesis engine.
+
+The engine mirrors the three components of the paper's algorithm:
+
+* **type-guided synthesis** (:mod:`repro.synth.enumerate`) fills typed holes
+  with constants, variables and method calls whose return type fits;
+* **effect-guided synthesis** (:mod:`repro.synth.effect_guided`) reacts to
+  failed spec assertions by inserting effect holes and filling them with
+  calls whose write effect covers the assertion's read effect;
+* **merging** (:mod:`repro.synth.merge`) combines per-spec solutions into a
+  single branching method, synthesizing branch conditions and simplifying
+  with the rewrite rules of Figure 6 / Figure 13, using a SAT-based
+  implication check (:mod:`repro.synth.sat`, :mod:`repro.synth.implication`).
+
+:mod:`repro.synth.search` implements the work-list of Algorithm 2 and
+:mod:`repro.synth.synthesizer` ties everything together behind
+:func:`~repro.synth.synthesizer.synthesize`.
+"""
+
+from repro.synth.config import SynthConfig
+from repro.synth.dsl import define
+from repro.synth.goal import Spec, SpecContext, SynthesisProblem, evaluate_spec
+from repro.synth.synthesizer import SynthesisResult, synthesize
+
+__all__ = [
+    "SynthConfig",
+    "define",
+    "Spec",
+    "SpecContext",
+    "SynthesisProblem",
+    "evaluate_spec",
+    "SynthesisResult",
+    "synthesize",
+]

@@ -1,0 +1,98 @@
+"""Synthesis configuration.
+
+The configuration exposes every knob the paper's evaluation turns:
+
+* ``use_types`` / ``use_effects`` select between the four guidance modes of
+  Figure 7 (TE enabled, T only, E only, TE disabled);
+* ``effect_precision`` selects between the precise/class/purity annotation
+  levels of Figure 8 (applied to the benchmark's class table);
+* ``timeout_s`` is the per-benchmark timeout (300 s in the paper; the
+  benchmark harness defaults to a smaller value so a full sweep stays cheap);
+* the remaining limits bound the enumerative search and expose the
+  optimizations of Section 4 (solution/guard reuse, negated-guard reuse,
+  type narrowing, exploration order) for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.lang.effects import PRECISION_PRECISE
+
+#: Exploration orders for the work list (Section 4, "Program Exploration Order").
+ORDER_PAPER = "paper"  # passed assertions desc, then size asc
+ORDER_SIZE = "size"  # size asc only
+ORDER_FIFO = "fifo"  # breadth-first insertion order
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Tunable parameters of the synthesis search."""
+
+    # Guidance modes (Figure 7).
+    use_types: bool = True
+    use_effects: bool = True
+
+    # Effect annotation precision (Figure 8).
+    effect_precision: str = PRECISION_PRECISE
+
+    # Resource limits.  Sizes are AST node counts, which is the metric the
+    # paper's implementation orders the work list by (Section 4).
+    max_size: int = 40
+    guard_max_size: int = 10
+    max_hash_keys: int = 2
+    max_candidates: int = 400_000
+    timeout_s: Optional[float] = None
+
+    # Section 4 optimizations / design choices (ablation targets).
+    reuse_solutions: bool = True
+    try_negated_guards: bool = True
+    narrow_types: bool = True
+    exploration_order: str = ORDER_PAPER
+    chain_effect_reads: bool = False
+
+    # ------------------------------------------------------------------ modes
+
+    def with_mode(self, use_types: bool, use_effects: bool) -> "SynthConfig":
+        return replace(self, use_types=use_types, use_effects=use_effects)
+
+    def with_timeout(self, timeout_s: Optional[float]) -> "SynthConfig":
+        return replace(self, timeout_s=timeout_s)
+
+    def with_precision(self, precision: str) -> "SynthConfig":
+        return replace(self, effect_precision=precision)
+
+    @staticmethod
+    def full(**overrides) -> "SynthConfig":
+        """Type- and effect-guided synthesis (the paper's default)."""
+
+        return SynthConfig(**overrides)
+
+    @staticmethod
+    def types_only(**overrides) -> "SynthConfig":
+        return SynthConfig(use_types=True, use_effects=False, **overrides)
+
+    @staticmethod
+    def effects_only(**overrides) -> "SynthConfig":
+        return SynthConfig(use_types=False, use_effects=True, **overrides)
+
+    @staticmethod
+    def unguided(**overrides) -> "SynthConfig":
+        """Naive term enumeration (TE disabled in Figure 7)."""
+
+        return SynthConfig(use_types=False, use_effects=False, **overrides)
+
+    @property
+    def mode_name(self) -> str:
+        if self.use_types and self.use_effects:
+            return "TE Enabled"
+        if self.use_types:
+            return "T Only"
+        if self.use_effects:
+            return "E Only"
+        return "TE Disabled"
+
+    def __post_init__(self) -> None:
+        if self.exploration_order not in (ORDER_PAPER, ORDER_SIZE, ORDER_FIFO):
+            raise ValueError(f"unknown exploration order {self.exploration_order!r}")

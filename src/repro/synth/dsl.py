@@ -1,0 +1,115 @@
+"""The ``define``/``spec``/``setup``/``postcond`` surface DSL.
+
+Section 4 of the paper describes the specification language::
+
+    define :name, "method-sig", [consts, ...] do
+      spec "spec1" do setup { ... } postcond { ... } end ...
+    end
+
+We mirror it with a small builder so benchmark definitions read close to the
+paper's figures::
+
+    problem = define(
+        "update_post",
+        "(Str, Str, {author: ?Str, title: ?Str, slug: ?Str}) -> Post",
+        consts=[User, Post],
+        class_table=ct,
+        reset=db.reset,
+    )
+
+    with problem.spec("author can only change titles") as s:
+        @s.setup
+        def _(ctx):
+            ...seed the database...
+            ctx["post"] = Post.create(author="author", slug="hello-world", ...)
+            ctx.invoke("author", "hello-world", HashValue.of(title="Foo Bar", ...))
+
+        @s.postcond
+        def _(ctx, updated):
+            ctx.assert_(lambda: updated.id == ctx["post"].id)
+            ...
+
+Plain ``problem.add_spec(name, setup, postcond)`` is also available for
+programmatic construction (the benchmark suite uses both styles).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.synth.goal import PostcondFn, SetupFn, Spec, SynthesisProblem
+from repro.typesys.class_table import ClassTable
+
+
+class SpecBuilder:
+    """Collects the setup and postcondition blocks of one spec."""
+
+    def __init__(self, problem: SynthesisProblem, name: str) -> None:
+        self._problem = problem
+        self._name = name
+        self._setup: Optional[SetupFn] = None
+        self._postcond: Optional[PostcondFn] = None
+
+    # -- decorator-style registration -----------------------------------------
+
+    def setup(self, fn: SetupFn) -> SetupFn:
+        self._setup = fn
+        return fn
+
+    def postcond(self, fn: PostcondFn) -> PostcondFn:
+        self._postcond = fn
+        return fn
+
+    # -- context manager --------------------------------------------------------
+
+    def __enter__(self) -> "SpecBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        self.build()
+
+    def build(self) -> Spec:
+        if self._setup is None:
+            raise ValueError(f"spec {self._name!r} has no setup block")
+        if self._postcond is None:
+            raise ValueError(f"spec {self._name!r} has no postcond block")
+        return self._problem.add_spec(self._name, self._setup, self._postcond)
+
+
+class ProblemBuilder(SynthesisProblem):
+    """A :class:`SynthesisProblem` with the paper's ``spec`` block syntax."""
+
+    def spec(self, name: str) -> SpecBuilder:
+        return SpecBuilder(self, name)
+
+
+def define(
+    name: str,
+    signature: str,
+    consts: Sequence[Any] = (),
+    class_table: Optional[ClassTable] = None,
+    reset: Callable[[], None] = lambda: None,
+) -> ProblemBuilder:
+    """Create a synthesis problem, mirroring the paper's ``define`` form.
+
+    ``signature`` is an RDL-style method signature string; ``consts`` is the
+    list of constants (including class constants) available to the
+    synthesizer; ``reset`` clears global state before every spec run.
+    """
+
+    if class_table is None:
+        class_table = ClassTable()
+    base = SynthesisProblem.from_signature(
+        name, signature, class_table, constants=consts, reset=reset
+    )
+    return ProblemBuilder(
+        name=base.name,
+        arg_types=base.arg_types,
+        ret_type=base.ret_type,
+        class_table=base.class_table,
+        specs=base.specs,
+        constants=base.constants,
+        reset=base.reset,
+    )

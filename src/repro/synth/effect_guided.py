@@ -1,0 +1,112 @@
+"""Effect-guided synthesis (rules S-Eff, S-EffApp, S-EffNil of Figure 5).
+
+When a fully concrete candidate fails a spec assertion, the assertion's read
+effect ``e_r`` identifies which abstract state the spec expected to be
+different.  Rule S-Eff rewrites the candidate ``e`` of type ``tau`` into::
+
+    let t = e in (<>:e_r ; []:tau)
+
+i.e. the candidate's value is saved, an effect hole demands code that writes
+to the read region, and a trailing typed hole restores the candidate's type
+(often simply filled with ``t``, as in Figure 2 where ``t0`` is returned).
+
+Effect holes are filled by S-EffApp with calls to methods whose *write*
+effect subsumes the hole's effect, or removed entirely by S-EffNil.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lang import ast as A
+from repro.lang import types as T
+from repro.lang.effects import Effect, subsumed
+from repro.synth.config import SynthConfig
+from repro.synth.enumerate import call_template, env_at_hole
+from repro.synth.goal import SynthesisProblem
+from repro.typesys.typecheck import SynTypeError, check_expr
+
+
+def insert_effect_hole(
+    expr: A.Node, read_effect: Effect, problem: SynthesisProblem
+) -> A.Node:
+    """Rule S-Eff: wrap a failed candidate with an effect hole.
+
+    ``expr`` must be a hole-free candidate; its type is computed under the
+    problem's parameter environment to annotate the trailing typed hole.
+    """
+
+    try:
+        expr_type = check_expr(expr, dict(problem.param_env), problem.class_table)
+    except SynTypeError:
+        expr_type = problem.ret_type
+    taken = list(problem.params) + A.bound_names(expr)
+    var = A.fresh_name("t", taken)
+    return A.Let(
+        var,
+        expr,
+        A.Seq(A.EffectHole(read_effect), A.TypedHole(expr_type)),
+    )
+
+
+def expand_effect_hole(
+    expr: A.Node,
+    site: A.HoleSite,
+    problem: SynthesisProblem,
+    config: SynthConfig,
+) -> List[A.Node]:
+    """Rules S-EffApp and S-EffNil: all one-step fillings of an effect hole."""
+
+    assert isinstance(site.hole, A.EffectHole)
+    hole = site.hole
+    ct = problem.class_table
+
+    replacements: List[A.Node] = []
+    for resolved in ct.resolved_synthesis_methods():
+        if resolved.effects.write.is_pure:
+            continue
+        if not subsumed(hole.effect, resolved.effects.write, ct):
+            continue
+        call = call_template(resolved)
+        replacements.append(call)
+        if config.chain_effect_reads and not resolved.effects.read.is_pure:
+            # Full S-EffApp: the inserted call may itself read state that
+            # needs changing, so precede it with another effect hole.
+            replacements.append(A.Seq(A.EffectHole(resolved.effects.read), call))
+
+    # S-EffNil removes an unneeded effect hole.
+    replacements.append(A.NIL)
+
+    results: List[A.Node] = []
+    seen: set[A.Node] = set()
+    for replacement in replacements:
+        candidate = A.replace_at(expr, site.path, replacement)
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        if config.use_types and config.narrow_types:
+            try:
+                check_expr(candidate, dict(problem.param_env), problem.class_table)
+            except SynTypeError:
+                continue
+        results.append(candidate)
+    return results
+
+
+def writers_for(
+    read_effect: Effect, problem: SynthesisProblem
+) -> List[str]:
+    """Qualified names of library methods whose write effect covers ``read_effect``.
+
+    Exposed for diagnostics and tests; the search itself uses
+    :func:`expand_effect_hole`.
+    """
+
+    ct = problem.class_table
+    names: List[str] = []
+    for resolved in ct.resolved_synthesis_methods():
+        if resolved.effects.write.is_pure:
+            continue
+        if subsumed(read_effect, resolved.effects.write, ct):
+            names.append(resolved.sig.qualified_name)
+    return sorted(names)

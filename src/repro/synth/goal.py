@@ -1,0 +1,285 @@
+"""Synthesis goals, specs and spec evaluation.
+
+A synthesis goal (Figure 3) is a method type plus a set of specs; each spec
+pairs *setup* code (which calls the method being synthesized) with a
+*postcondition* made of assertions.  Specs here are ordinary Python callables
+operating on a :class:`SpecContext`, mirroring how RbSyn's specs are ordinary
+Ruby blocks: the setup seeds the database and calls ``ctx.invoke(...)``, and
+the postcondition calls ``ctx.assert_(lambda: ...)``.
+
+``ctx.assert_`` evaluates its condition inside an effect capture.  When the
+condition is falsy the captured read effect travels with the raised
+:class:`~repro.interp.errors.AssertionFailure`, which is precisely the
+``err(e_r, e_w)`` result of the extended operational semantics (Appendix A.1)
+that effect-guided synthesis consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lang import ast as A
+from repro.lang import types as T
+from repro.lang.values import truthy, type_of_value
+from repro.interp.effect_log import effect_capture
+from repro.interp.errors import AssertionFailure, SynRuntimeError
+from repro.interp.interpreter import Interpreter
+from repro.typesys.class_table import ClassTable
+from repro.typesys.sigparser import parse_method_sig
+
+SetupFn = Callable[["SpecContext"], None]
+PostcondFn = Callable[["SpecContext", Any], None]
+
+
+@dataclass(frozen=True)
+class Spec:
+    """One test case: a name, a setup block and a postcondition block."""
+
+    name: str
+    setup: SetupFn
+    postcond: PostcondFn
+
+    def __str__(self) -> str:
+        return f"spec({self.name!r})"
+
+
+class SpecContext:
+    """The execution context handed to a spec's setup and postcondition."""
+
+    def __init__(
+        self,
+        problem: "SynthesisProblem",
+        program: A.MethodDef,
+        interpreter: Interpreter,
+    ) -> None:
+        self.problem = problem
+        self.program = program
+        self.interpreter = interpreter
+        self.result: Any = None
+        self.passed_asserts = 0
+        #: Scratch space for the setup block (plays the role of Ruby's @ivars).
+        self.state: Dict[str, Any] = {}
+
+    # -- setup helpers ---------------------------------------------------------
+
+    def invoke(self, *args: Any) -> Any:
+        """Call the synthesized method (the ``x_r = P(e)`` step of a setup)."""
+
+        self.result = self.interpreter.call_program(self.program, *args)
+        return self.result
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.state[key] = value
+
+    def __getitem__(self, key: str) -> Any:
+        return self.state[key]
+
+    # -- postcondition helpers ----------------------------------------------------
+
+    def assert_(self, condition: Callable[[], Any] | Any, message: Optional[str] = None) -> Any:
+        """Assert a condition, capturing the effects its evaluation reads.
+
+        The condition is usually a zero-argument callable so its library
+        calls run inside the capture window; passing an already-computed
+        value is allowed but then no effects can be observed.
+        """
+
+        with effect_capture() as log:
+            value = condition() if callable(condition) else condition
+        if truthy(value):
+            self.passed_asserts += 1
+            return value
+        raise AssertionFailure(log.pair, message, observed=value)
+
+    def assert_equal(self, expected_fn: Callable[[], Any] | Any, actual_fn: Callable[[], Any] | Any) -> Any:
+        """Assert equality of two (possibly lazily evaluated) values."""
+
+        def condition() -> bool:
+            expected = expected_fn() if callable(expected_fn) else expected_fn
+            actual = actual_fn() if callable(actual_fn) else actual_fn
+            return expected == actual
+
+        return self.assert_(condition)
+
+
+@dataclass
+class SynthesisProblem:
+    """A synthesis goal: name, signature, constants, specs and class table."""
+
+    name: str
+    arg_types: Tuple[T.Type, ...]
+    ret_type: T.Type
+    class_table: ClassTable
+    specs: List[Spec] = field(default_factory=list)
+    constants: Tuple[Any, ...] = ()
+    reset: Callable[[], None] = lambda: None
+
+    @staticmethod
+    def from_signature(
+        name: str,
+        signature: str,
+        class_table: ClassTable,
+        constants: Sequence[Any] = (),
+        reset: Callable[[], None] = lambda: None,
+    ) -> "SynthesisProblem":
+        arg_types, ret_type = parse_method_sig(signature)
+        return SynthesisProblem(
+            name=name,
+            arg_types=tuple(arg_types),
+            ret_type=ret_type,
+            class_table=class_table,
+            constants=tuple(constants),
+            reset=reset,
+        )
+
+    # -- derived views -----------------------------------------------------------
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        return tuple(f"arg{i}" for i in range(len(self.arg_types)))
+
+    @property
+    def param_env(self) -> Dict[str, T.Type]:
+        return dict(zip(self.params, self.arg_types))
+
+    def add_spec(self, name: str, setup: SetupFn, postcond: PostcondFn) -> Spec:
+        spec = Spec(name, setup, postcond)
+        self.specs.append(spec)
+        return spec
+
+    def make_program(self, body: A.Node, name: Optional[str] = None) -> A.MethodDef:
+        return A.MethodDef(name or self.name, self.params, body)
+
+    def constant_exprs(self) -> List[Tuple[A.Node, T.Type]]:
+        """The constants Sigma as (expression, type) pairs."""
+
+        result: List[Tuple[A.Node, T.Type]] = []
+        for value in self.constants:
+            result.append(constant_to_expr(value))
+        return result
+
+    def library_method_count(self) -> int:
+        return len(self.class_table.synthesis_methods())
+
+
+def constant_to_expr(value: Any) -> Tuple[A.Node, T.Type]:
+    """Convert a Python-level constant into an AST literal and its type."""
+
+    if value is None:
+        return A.NIL, T.NIL
+    if value is True:
+        return A.TRUE, T.TRUE_CLASS
+    if value is False:
+        return A.FALSE, T.FALSE_CLASS
+    if isinstance(value, int) and not isinstance(value, bool):
+        return A.IntLit(value), T.INT
+    if isinstance(value, str):
+        return A.StrLit(value), T.STRING
+    from repro.lang.values import Symbol, is_class_value, class_name_of_value
+
+    if isinstance(value, Symbol):
+        return A.SymLit(value.name), T.SymbolType(value.name)
+    if is_class_value(value):
+        name = class_name_of_value(value)
+        return A.ConstRef(name), T.SingletonClassType(name)
+    raise ValueError(f"unsupported constant {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Spec evaluation (EvalProgram of Algorithm 2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpecOutcome:
+    """The result of running one candidate program against one spec."""
+
+    ok: bool
+    passed_asserts: int = 0
+    failure: Optional[AssertionFailure] = None
+    error: Optional[Exception] = None
+    value: Any = None
+
+    @property
+    def has_effect_error(self) -> bool:
+        return self.failure is not None and not self.failure.read_effect.is_pure
+
+
+def evaluate_spec(
+    problem: SynthesisProblem, program: A.MethodDef, spec: Spec
+) -> SpecOutcome:
+    """Reset global state, run the spec's setup, then its postcondition."""
+
+    problem.reset()
+    interpreter = Interpreter(problem.class_table)
+    ctx = SpecContext(problem, program, interpreter)
+    try:
+        spec.setup(ctx)
+        result = ctx.result
+        spec.postcond(ctx, result)
+        return SpecOutcome(ok=True, passed_asserts=ctx.passed_asserts, value=result)
+    except AssertionFailure as failure:
+        return SpecOutcome(
+            ok=False, passed_asserts=ctx.passed_asserts, failure=failure
+        )
+    except SynRuntimeError as error:
+        return SpecOutcome(ok=False, passed_asserts=ctx.passed_asserts, error=error)
+    except Exception as error:  # noqa: BLE001 - candidate-induced spec crashes
+        return SpecOutcome(ok=False, passed_asserts=ctx.passed_asserts, error=error)
+
+
+def evaluate_all_specs(
+    problem: SynthesisProblem, program: A.MethodDef, specs: Optional[Sequence[Spec]] = None
+) -> bool:
+    """Whether ``program`` passes every spec (used by merge validation)."""
+
+    for spec in specs if specs is not None else problem.specs:
+        if not evaluate_spec(problem, program, spec).ok:
+            return False
+    return True
+
+
+def evaluate_guard(
+    problem: SynthesisProblem, guard: A.Node, spec: Spec, expect: bool
+) -> bool:
+    """Whether ``guard`` (as the whole method body) evaluates to ``expect``.
+
+    This is the check of Section 3.3: under the setup of the spec, a method
+    whose body is the guard must return a truthy (``expect=True``) or falsy
+    (``expect=False``) value.  Runtime errors simply reject the guard.
+    """
+
+    problem.reset()
+    program = problem.make_program(guard)
+    interpreter = Interpreter(problem.class_table)
+    ctx = SpecContext(problem, program, interpreter)
+    try:
+        spec.setup(ctx)
+    except Exception:  # noqa: BLE001 - a crashing guard is simply rejected
+        return False
+    return truthy(ctx.result) == expect
+
+
+# ---------------------------------------------------------------------------
+# Time budget shared across the stages of one synthesis run
+# ---------------------------------------------------------------------------
+
+
+class Budget:
+    """A wall-clock budget; ``None`` timeout means unlimited."""
+
+    def __init__(self, timeout_s: Optional[float]) -> None:
+        self.start = time.perf_counter()
+        self.timeout_s = timeout_s
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.start
+
+    def expired(self) -> bool:
+        return self.timeout_s is not None and self.elapsed() >= self.timeout_s
+
+
+class SynthesisTimeout(Exception):
+    """Raised internally when the budget expires mid-search."""

@@ -1,0 +1,65 @@
+"""SAT-backed implication checking between branch conditions.
+
+Section 3.3: each structurally unique base condition is mapped to a fresh
+boolean variable, ``!b`` becomes negation and ``b1 || b2`` becomes
+disjunction.  Implication between the encodings is then checked with the SAT
+solver.  The encoding deliberately ignores the semantics of the underlying
+method calls -- the paper notes this heuristic "works surprisingly well in
+practice", and any imprecision is caught later because merged programs are
+re-run against every spec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lang import ast as A
+from repro.synth import sat
+
+
+class GuardEncoder:
+    """Maps guard expressions to propositional formulas."""
+
+    def __init__(self) -> None:
+        self._vars: Dict[A.Node, sat.BVar] = {}
+
+    def base_var(self, expr: A.Node) -> sat.BVar:
+        var = self._vars.get(expr)
+        if var is None:
+            var = sat.BVar(f"b{len(self._vars)}")
+            self._vars[expr] = var
+        return var
+
+    def encode(self, guard: A.Node) -> sat.Formula:
+        if isinstance(guard, A.BoolLit):
+            return sat.TRUE if guard.value else sat.FALSE
+        if isinstance(guard, A.NilLit):
+            return sat.FALSE
+        if isinstance(guard, A.Not):
+            return sat.BNot(self.encode(guard.expr))
+        if isinstance(guard, A.Or):
+            return sat.BOr(self.encode(guard.left), self.encode(guard.right))
+        return self.base_var(guard)
+
+    # -- queries -----------------------------------------------------------------
+
+    def implies(self, left: A.Node, right: A.Node) -> bool:
+        return sat.implies(self.encode(left), self.encode(right))
+
+    def equivalent(self, left: A.Node, right: A.Node) -> bool:
+        return sat.equivalent(self.encode(left), self.encode(right))
+
+    def is_negation(self, left: A.Node, right: A.Node) -> bool:
+        """Whether ``left`` is (propositionally) the negation of ``right``."""
+
+        return sat.equivalent(self.encode(left), sat.BNot(self.encode(right)))
+
+
+def negate(guard: A.Node) -> A.Node:
+    """Syntactic negation with double-negation elimination."""
+
+    if isinstance(guard, A.Not):
+        return guard.expr
+    if isinstance(guard, A.BoolLit):
+        return A.BoolLit(not guard.value)
+    return A.Not(guard)

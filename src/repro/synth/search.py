@@ -1,0 +1,226 @@
+"""The synthesis work-list (Algorithm 2, ``Generate``).
+
+The search maintains a priority queue of partial candidates.  Popping a
+candidate expands its left-most hole one step (type-guided for typed holes,
+effect-guided for effect holes).  Hole-free results are immediately run
+against the spec: passing candidates are returned, candidates failing an
+assertion with a non-pure read effect are wrapped by rule S-Eff and pushed
+back, everything else is discarded.  Candidates that still contain holes go
+back on the queue unless they exceed the size bound.
+
+The queue is ordered as in Section 4: by number of passed assertions
+(descending), then program size (ascending).  The alternative orderings are
+kept for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lang import ast as A
+from repro.lang import types as T
+from repro.synth.config import ORDER_FIFO, ORDER_PAPER, ORDER_SIZE, SynthConfig
+from repro.synth.effect_guided import expand_effect_hole, insert_effect_hole
+from repro.synth.enumerate import expand_typed_hole
+from repro.synth.goal import (
+    Budget,
+    Spec,
+    SynthesisProblem,
+    SynthesisTimeout,
+    evaluate_guard,
+    evaluate_spec,
+)
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one work-list search."""
+
+    expansions: int = 0
+    evaluated: int = 0
+    pushed: int = 0
+    effect_wraps: int = 0
+    pruned_size: int = 0
+    timed_out: bool = False
+
+    def merge(self, other: "SearchStats") -> None:
+        self.expansions += other.expansions
+        self.evaluated += other.evaluated
+        self.pushed += other.pushed
+        self.effect_wraps += other.effect_wraps
+        self.pruned_size += other.pruned_size
+        self.timed_out = self.timed_out or other.timed_out
+
+
+class _WorkList:
+    """A priority queue of ``(passed_asserts, expression)`` entries."""
+
+    def __init__(self, order: str) -> None:
+        self.order = order
+        self._heap: List[Tuple[Tuple, int, int, A.Node]] = []
+        self._counter = itertools.count()
+        self._seen: set[A.Node] = set()
+
+    def push(self, expr: A.Node, passed: int) -> bool:
+        if expr in self._seen:
+            return False
+        self._seen.add(expr)
+        count = next(self._counter)
+        if self.order == ORDER_PAPER:
+            priority: Tuple = (-passed, A.node_count(expr), count)
+        elif self.order == ORDER_SIZE:
+            priority = (A.node_count(expr), count)
+        elif self.order == ORDER_FIFO:
+            priority = (count,)
+        else:  # pragma: no cover - validated by SynthConfig
+            raise ValueError(self.order)
+        heapq.heappush(self._heap, (priority, count, passed, expr))
+        return True
+
+    def pop(self) -> Tuple[int, A.Node]:
+        _, _, passed, expr = heapq.heappop(self._heap)
+        return passed, expr
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def _expand(
+    expr: A.Node,
+    problem: SynthesisProblem,
+    config: SynthConfig,
+) -> List[A.Node]:
+    """One-step expansion of the left-most hole of ``expr``."""
+
+    site = A.first_hole(expr)
+    if site is None:
+        return []
+    if isinstance(site.hole, A.TypedHole):
+        return expand_typed_hole(expr, site, problem, config)
+    return expand_effect_hole(expr, site, problem, config)
+
+
+def generate_for_spec(
+    problem: SynthesisProblem,
+    spec: Spec,
+    config: SynthConfig,
+    budget: Optional[Budget] = None,
+    stats: Optional[SearchStats] = None,
+    root: Optional[A.Node] = None,
+) -> Optional[A.Node]:
+    """Search for an expression that makes ``spec`` pass (Algorithm 2).
+
+    Returns the expression, or ``None`` when the search space or candidate
+    budget is exhausted.  Raises :class:`SynthesisTimeout` when the time
+    budget expires.
+    """
+
+    budget = budget or Budget(config.timeout_s)
+    stats = stats if stats is not None else SearchStats()
+    worklist = _WorkList(config.exploration_order)
+    worklist.push(root if root is not None else A.TypedHole(problem.ret_type), 0)
+
+    while worklist:
+        if budget.expired():
+            stats.timed_out = True
+            raise SynthesisTimeout(f"timeout while solving {spec.name!r}")
+        if stats.evaluated > config.max_candidates:
+            return None
+
+        passed, expr = worklist.pop()
+        stats.expansions += 1
+        for candidate in _expand(expr, problem, config):
+            if budget.expired():
+                stats.timed_out = True
+                raise SynthesisTimeout(f"timeout while solving {spec.name!r}")
+            if A.has_holes(candidate):
+                if A.node_count(candidate) <= config.max_size:
+                    if worklist.push(candidate, passed):
+                        stats.pushed += 1
+                else:
+                    stats.pruned_size += 1
+                continue
+
+            stats.evaluated += 1
+            outcome = evaluate_spec(problem, problem.make_program(candidate), spec)
+            if outcome.ok:
+                return candidate
+            if (
+                config.use_effects
+                and outcome.has_effect_error
+                and A.node_count(candidate) < config.max_size
+            ):
+                wrapped = insert_effect_hole(
+                    candidate, outcome.failure.read_effect, problem
+                )
+                if worklist.push(wrapped, outcome.passed_asserts):
+                    stats.effect_wraps += 1
+    return None
+
+
+def generate_guard(
+    problem: SynthesisProblem,
+    positive_specs: Sequence[Spec],
+    negative_specs: Sequence[Spec],
+    config: SynthConfig,
+    budget: Optional[Budget] = None,
+    stats: Optional[SearchStats] = None,
+    initial_candidates: Sequence[A.Node] = (),
+) -> Optional[A.Node]:
+    """Synthesize a branch condition (Section 3.3).
+
+    The guard must evaluate truthy under every positive spec's setup and
+    falsy under every negative spec's setup.  ``initial_candidates`` are
+    tried first (existing guards, their negations, ``true``), implementing
+    the reuse optimizations of Section 4.
+    """
+
+    budget = budget or Budget(config.timeout_s)
+    stats = stats if stats is not None else SearchStats()
+
+    def accepted(guard: A.Node) -> bool:
+        stats.evaluated += 1
+        for spec in positive_specs:
+            if not evaluate_guard(problem, guard, spec, expect=True):
+                return False
+        for spec in negative_specs:
+            if not evaluate_guard(problem, guard, spec, expect=False):
+                return False
+        return True
+
+    for guard in initial_candidates:
+        if budget.expired():
+            stats.timed_out = True
+            raise SynthesisTimeout("timeout while synthesizing a guard")
+        if accepted(guard):
+            return guard
+
+    worklist = _WorkList(config.exploration_order)
+    worklist.push(A.TypedHole(T.BOOL), 0)
+
+    while worklist:
+        if budget.expired():
+            stats.timed_out = True
+            raise SynthesisTimeout("timeout while synthesizing a guard")
+        if stats.evaluated > config.max_candidates:
+            return None
+
+        _, expr = worklist.pop()
+        stats.expansions += 1
+        for candidate in _expand(expr, problem, config):
+            if A.has_holes(candidate):
+                if A.node_count(candidate) <= config.guard_max_size:
+                    if worklist.push(candidate, 0):
+                        stats.pushed += 1
+                else:
+                    stats.pruned_size += 1
+                continue
+            if accepted(candidate):
+                return candidate
+    return None

@@ -1,0 +1,146 @@
+"""The top-level synthesis pipeline.
+
+:func:`synthesize` realises the full RbSyn loop:
+
+1. for every spec, search for an expression passing it (Algorithm 2),
+   first re-trying expressions that already solved earlier specs (Section 4,
+   "Optimizations": the bottleneck becomes the number of unique paths, not
+   the number of tests);
+2. merge the per-spec solutions into a single branching method
+   (Algorithm 1), synthesizing and reusing branch conditions as needed;
+3. report the result together with timing and search statistics, which the
+   evaluation harnesses turn into Table 1 / Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.lang import ast as A
+from repro.synth.config import SynthConfig
+from repro.synth.goal import (
+    Budget,
+    SynthesisProblem,
+    SynthesisTimeout,
+    evaluate_spec,
+)
+from repro.synth.merge import Merger, SpecSolution
+from repro.synth.search import SearchStats, generate_for_spec
+from repro.synth.simplify import simplify
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one synthesis run."""
+
+    problem: SynthesisProblem
+    success: bool
+    program: Optional[A.MethodDef] = None
+    solutions: List[SpecSolution] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    timed_out: bool = False
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def method_size(self) -> Optional[int]:
+        """Number of AST nodes of the synthesized method (Table 1, Meth Size)."""
+
+        return A.node_count(self.program.body) if self.program is not None else None
+
+    @property
+    def paths(self) -> Optional[int]:
+        """Number of paths through the synthesized method (Table 1, # Syn Paths)."""
+
+        return A.count_paths(self.program) if self.program is not None else None
+
+    def pretty(self) -> str:
+        if self.program is None:
+            return "<no solution>"
+        from repro.lang.pretty import pretty_block
+
+        return pretty_block(self.program)
+
+    def __str__(self) -> str:
+        status = "ok" if self.success else ("timeout" if self.timed_out else "failed")
+        return f"<SynthesisResult {self.problem.name} {status} {self.elapsed_s:.2f}s>"
+
+
+def synthesize(
+    problem: SynthesisProblem, config: Optional[SynthConfig] = None
+) -> SynthesisResult:
+    """Synthesize a method satisfying every spec of ``problem``."""
+
+    config = config or SynthConfig()
+    if config.effect_precision != problem.class_table.effect_precision:
+        problem = _with_precision(problem, config.effect_precision)
+    budget = Budget(config.timeout_s)
+    stats = SearchStats()
+    solutions: List[SpecSolution] = []
+
+    try:
+        for spec in problem.specs:
+            if _reuse_solution(problem, spec, solutions, config):
+                continue
+            expr = generate_for_spec(problem, spec, config, budget=budget, stats=stats)
+            if expr is None:
+                return SynthesisResult(
+                    problem,
+                    success=False,
+                    solutions=solutions,
+                    elapsed_s=budget.elapsed(),
+                    stats=stats,
+                )
+            simplified = simplify(expr)
+            if not evaluate_spec(
+                problem, problem.make_program(simplified), spec
+            ).ok:
+                simplified = expr
+            solutions.append(SpecSolution(expr=simplified, specs=(spec,)))
+
+        merger = Merger(problem, config, budget=budget, stats=stats)
+        program = merger.merge(solutions)
+    except SynthesisTimeout:
+        return SynthesisResult(
+            problem,
+            success=False,
+            solutions=solutions,
+            elapsed_s=budget.elapsed(),
+            timed_out=True,
+            stats=stats,
+        )
+
+    return SynthesisResult(
+        problem,
+        success=program is not None,
+        program=program,
+        solutions=solutions,
+        elapsed_s=budget.elapsed(),
+        stats=stats,
+    )
+
+
+def _reuse_solution(
+    problem: SynthesisProblem,
+    spec,
+    solutions: List[SpecSolution],
+    config: SynthConfig,
+) -> bool:
+    """Try expressions that solved earlier specs before searching from scratch."""
+
+    if not config.reuse_solutions:
+        return False
+    for i, solution in enumerate(solutions):
+        outcome = evaluate_spec(problem, problem.make_program(solution.expr), spec)
+        if outcome.ok:
+            solutions[i] = solution.covering(spec)
+            return True
+    return False
+
+
+def _with_precision(problem: SynthesisProblem, precision: str) -> SynthesisProblem:
+    """A copy of the problem whose class table uses ``precision`` annotations."""
+
+    from dataclasses import replace
+
+    return replace(problem, class_table=problem.class_table.coarsened(precision))

@@ -1,0 +1,23 @@
+"""Type system substrate: class tables, method signatures, and typechecking.
+
+This package plays the role RDL plays for the original RbSyn implementation:
+it stores class hierarchies, per-method type-and-effect annotations
+(:class:`~repro.typesys.class_table.MethodSig`), supports RDL-style signature
+strings (:mod:`repro.typesys.sigparser`) and type-level computations ("comp
+types"), and typechecks candidate expressions that may still contain holes
+(:mod:`repro.typesys.typecheck`).
+"""
+
+from repro.typesys.class_table import ClassInfo, ClassTable, MethodSig
+from repro.typesys.sigparser import parse_method_sig, parse_type
+from repro.typesys.typecheck import SynTypeError, check_expr
+
+__all__ = [
+    "ClassInfo",
+    "ClassTable",
+    "MethodSig",
+    "parse_method_sig",
+    "parse_type",
+    "SynTypeError",
+    "check_expr",
+]

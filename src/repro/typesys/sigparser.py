@@ -1,0 +1,213 @@
+"""Parser for RDL-style type and method-signature strings.
+
+The synthesis DSL of Section 4 specifies method types as strings, e.g.::
+
+    define :update_post, "(Str, Str, {author: ?Str, title: ?Str, slug: ?Str}) -> Post", ...
+
+This module provides a small lexer and recursive-descent parser for that
+surface syntax:
+
+.. code-block:: text
+
+   sig    ::= '(' [type {',' type}] ')' '->' type
+            | type '->' type
+   type   ::= prim {'or' prim}
+   prim   ::= NAME                          -- class name or alias (Str, Int, ...)
+            | 'Class' '<' NAME '>'          -- singleton class type
+            | ':' NAME                      -- singleton symbol type
+            | '{' [entry {',' entry}] '}'   -- finite hash type
+            | '(' type ')'
+   entry  ::= NAME ':' ['?'] type           -- '?' marks an optional key
+
+The parser produces :mod:`repro.lang.types` values; aliases such as ``Str``
+and ``Bool`` are resolved to their canonical class names.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.lang import types as T
+
+
+class SignatureError(ValueError):
+    """Raised when a signature string cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->|→)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<langle><)
+  | (?P<rangle>>)
+  | (?P<comma>,)
+  | (?P<colon>:)
+  | (?P<question>\?)
+  | (?P<name>%?[A-Za-z_][A-Za-z0-9_]*(?:::[A-Za-z_][A-Za-z0-9_]*)*[!?]?)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SignatureError(f"unexpected character {text[pos]!r} at {pos} in {text!r}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise SignatureError(
+                f"expected {kind} but found {token.kind} ({token.text!r}) "
+                f"at {token.pos} in {self.text!r}"
+            )
+        return self.advance()
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_signature(self) -> Tuple[Tuple[T.Type, ...], T.Type]:
+        args = self._parse_domain()
+        self.expect("arrow")
+        ret = self.parse_type()
+        self.expect("eof")
+        return args, ret
+
+    def _parse_domain(self) -> Tuple[T.Type, ...]:
+        # "(A, B) -> C" or the single-argument shorthand "A -> C" / "() -> C".
+        if self.peek().kind == "lparen" and self._looks_like_arg_list():
+            self.expect("lparen")
+            args: List[T.Type] = []
+            if self.peek().kind != "rparen":
+                args.append(self.parse_type())
+                while self.accept("comma"):
+                    args.append(self.parse_type())
+            self.expect("rparen")
+            return tuple(args)
+        return (self.parse_type(),)
+
+    def _looks_like_arg_list(self) -> bool:
+        """Disambiguate ``(A, B) -> C`` from a parenthesised type ``(A) -> C``.
+
+        Both start with ``(``; either way the contents can be parsed as a
+        comma-separated list of types, so we simply answer ``True``.  The
+        method exists to keep the grammar explicit and testable.
+        """
+
+        return True
+
+    def parse_type(self) -> T.Type:
+        first = self._parse_prim()
+        members = [first]
+        while True:
+            token = self.peek()
+            if token.kind == "name" and token.text == "or":
+                self.advance()
+                members.append(self._parse_prim())
+            else:
+                break
+        return T.union(*members) if len(members) > 1 else first
+
+    def _parse_prim(self) -> T.Type:
+        token = self.peek()
+        if token.kind == "lparen":
+            self.advance()
+            inner = self.parse_type()
+            self.expect("rparen")
+            return inner
+        if token.kind == "lbrace":
+            return self._parse_hash()
+        if token.kind == "colon":
+            self.advance()
+            name = self.expect("name").text
+            return T.SymbolType(name)
+        if token.kind == "name":
+            self.advance()
+            if token.text == "Class" and self.accept("langle"):
+                inner = self.expect("name").text
+                self.expect("rangle")
+                return T.SingletonClassType(T.TYPE_ALIASES.get(inner, inner))
+            return T.class_type(token.text)
+        raise SignatureError(
+            f"unexpected token {token.text!r} at {token.pos} in {self.text!r}"
+        )
+
+    def _parse_hash(self) -> T.FiniteHashType:
+        self.expect("lbrace")
+        required: dict[str, T.Type] = {}
+        optional: dict[str, T.Type] = {}
+        if self.peek().kind != "rbrace":
+            self._parse_hash_entry(required, optional)
+            while self.accept("comma"):
+                self._parse_hash_entry(required, optional)
+        self.expect("rbrace")
+        return T.FiniteHashType.make(required=required, optional=optional)
+
+    def _parse_hash_entry(
+        self, required: dict[str, T.Type], optional: dict[str, T.Type]
+    ) -> None:
+        key = self.expect("name").text
+        self.expect("colon")
+        is_optional = self.accept("question") is not None
+        value = self.parse_type()
+        if key in required or key in optional:
+            raise SignatureError(f"duplicate hash key {key!r} in {self.text!r}")
+        (optional if is_optional else required)[key] = value
+
+
+def parse_type(text: str) -> T.Type:
+    """Parse a single RDL-style type string, e.g. ``"{title: ?Str}"``."""
+
+    parser = _Parser(text)
+    result = parser.parse_type()
+    parser.expect("eof")
+    return result
+
+
+def parse_method_sig(text: str) -> Tuple[Tuple[T.Type, ...], T.Type]:
+    """Parse a method signature string into ``(argument_types, return_type)``."""
+
+    return _Parser(text).parse_signature()

@@ -1,0 +1,203 @@
+"""Tests for the class table, method signatures and resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import types as T
+from repro.lang.effects import Effect, EffectPair
+from repro.typesys.class_table import ClassTable, MethodSig
+
+
+def _table():
+    ct = ClassTable()
+    ct.add_class("ActiveRecord::Base")
+    ct.add_class("Post", "ActiveRecord::Base")
+    ct.add_method(
+        MethodSig(
+            owner="Post",
+            name="title",
+            arg_types=(),
+            ret_type=T.STRING,
+            effects=EffectPair.of(read="self.title"),
+            impl=lambda interp, recv: "t",
+        )
+    )
+    ct.add_method(
+        MethodSig(
+            owner="ActiveRecord::Base",
+            name="reload",
+            arg_types=(),
+            ret_type=T.OBJECT,
+            effects=EffectPair.of(read="self"),
+            impl=lambda interp, recv: recv,
+        )
+    )
+    ct.add_method(
+        MethodSig(
+            owner="Post",
+            name="exists?",
+            arg_types=(T.HASH,),
+            ret_type=T.BOOL,
+            effects=EffectPair.of(read="self"),
+            singleton=True,
+            impl=lambda interp, recv, h: True,
+        )
+    )
+    return ct
+
+
+def test_builtin_classes_present():
+    ct = ClassTable()
+    for name in ("Object", "NilClass", "String", "Integer", "Boolean", "Hash"):
+        assert ct.has_class(name)
+
+
+def test_add_class_requires_known_superclass():
+    ct = ClassTable()
+    with pytest.raises(KeyError):
+        ct.add_class("Orphan", "Missing")
+
+
+def test_class_info_and_pyclass():
+    ct = ClassTable()
+    sentinel = object()
+    ct.add_class("Widget", pyclass=sentinel)
+    assert ct.class_info("Widget").superclass == "Object"
+    assert ct.pyclass("Widget") is sentinel
+    assert ct.pyclass("Nope") is None
+    with pytest.raises(KeyError):
+        ct.class_info("Nope")
+
+
+def test_superclass_chain_and_subclassing():
+    ct = _table()
+    assert ct.superclass_chain("Post") == ["Post", "ActiveRecord::Base", "Object"]
+    assert ct.is_subclass("Post", "ActiveRecord::Base")
+    assert ct.is_subclass("Post", "Object")
+    assert not ct.is_subclass("ActiveRecord::Base", "Post")
+    assert "Post" in ct.subclasses("ActiveRecord::Base")
+
+
+def test_add_method_requires_known_owner():
+    ct = ClassTable()
+    with pytest.raises(KeyError):
+        ct.add_method(MethodSig("Ghost", "m", (), T.NIL))
+
+
+def test_lookup_walks_superclass_chain():
+    ct = _table()
+    assert ct.lookup("Post", "title").name == "title"
+    # reload is inherited from ActiveRecord::Base
+    assert ct.lookup("Post", "reload").owner == "ActiveRecord::Base"
+    assert ct.lookup("Post", "missing") is None
+
+
+def test_lookup_distinguishes_singleton_methods():
+    ct = _table()
+    assert ct.lookup("Post", "exists?", singleton=True) is not None
+    assert ct.lookup("Post", "exists?", singleton=False) is None
+
+
+def test_methods_of_and_synthesis_methods():
+    ct = _table()
+    assert {sig.name for sig in ct.methods_of("Post")} == {"title", "exists?"}
+    assert len(ct.synthesis_methods()) == 3
+    assert len(ct) == 3
+
+
+def test_remove_method():
+    ct = _table()
+    ct.remove_method("Post", "title")
+    assert ct.lookup("Post", "title") is None
+
+
+def test_qualified_name_and_receiver_type():
+    ct = _table()
+    title = ct.lookup("Post", "title")
+    exists = ct.lookup("Post", "exists?", singleton=True)
+    assert title.qualified_name == "Post#title"
+    assert exists.qualified_name == "Post.exists?"
+    assert title.receiver_type == T.ClassType("Post")
+    assert exists.receiver_type == T.SingletonClassType("Post")
+
+
+def test_resolve_self_effect_on_inherited_method():
+    ct = _table()
+    reload = ct.lookup("Post", "reload")
+    resolved = ct.resolve(reload, T.ClassType("Post"))
+    assert resolved.effects.read == Effect.of("Post")
+
+
+def test_resolve_applies_precision():
+    ct = _table().coarsened("purity")
+    title = ct.lookup("Post", "title")
+    resolved = ct.resolve(title)
+    assert resolved.effects.read.is_star
+
+
+def test_resolve_is_cached():
+    ct = _table()
+    title = ct.lookup("Post", "title")
+    first = ct.resolve(title)
+    assert ct.resolve(title) is first
+
+
+def test_resolved_synthesis_methods_cached_and_invalidated():
+    ct = _table()
+    resolved = ct.resolved_synthesis_methods()
+    assert ct.resolved_synthesis_methods() is resolved
+    ct.add_class("User", "ActiveRecord::Base")
+    assert ct.resolved_synthesis_methods() is not resolved
+
+
+def test_effects_of_call():
+    ct = _table()
+    pair = ct.effects_of_call("Post", "title")
+    assert pair.read == Effect.of("Post.title")
+    assert ct.effects_of_call("Post", "missing").is_pure
+    singleton = ct.effects_of_call("Post", "exists?", singleton=True)
+    assert singleton.read == Effect.of("Post")
+
+
+def test_coarsened_is_a_view_with_new_precision():
+    ct = _table()
+    coarse = ct.coarsened("class")
+    assert coarse.effect_precision == "class"
+    assert len(coarse) == len(ct)
+    assert ct.effect_precision == "precise"
+
+
+def test_without_methods():
+    ct = _table()
+    trimmed = ct.without_methods(["Post#title"])
+    assert trimmed.lookup("Post", "title") is None
+    assert ct.lookup("Post", "title") is not None
+
+
+def test_is_subtype_memoized_consistent():
+    ct = _table()
+    assert ct.is_subtype(T.ClassType("Post"), T.ClassType("ActiveRecord::Base"))
+    assert ct.is_subtype(T.ClassType("Post"), T.ClassType("ActiveRecord::Base"))
+    assert not ct.is_subtype(T.ClassType("ActiveRecord::Base"), T.ClassType("Post"))
+
+
+def test_comp_type_is_applied_on_resolve():
+    ct = _table()
+
+    def comp(sig, receiver_type, table):
+        return (T.INT,), T.INT
+
+    ct.add_method(
+        MethodSig(
+            owner="Post",
+            name="compy",
+            arg_types=(T.STRING,),
+            ret_type=T.STRING,
+            comp_type=comp,
+            impl=lambda interp, recv, x: x,
+        )
+    )
+    resolved = ct.resolve(ct.lookup("Post", "compy"))
+    assert resolved.arg_types == (T.INT,)
+    assert resolved.ret_type == T.INT

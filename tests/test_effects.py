@@ -1,0 +1,238 @@
+"""Unit and property tests for the effect lattice and coarsening."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import effects as E
+from repro.typesys.class_table import ClassTable
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def test_pure_and_star_constants():
+    assert E.PURE.is_pure
+    assert not E.STAR.is_pure
+    assert E.STAR.is_star
+
+
+def test_effect_of_labels():
+    eff = E.Effect.of("Post.title", "User")
+    labels = {str(r) for r in eff.regions}
+    assert labels == {"Post.title", "User"}
+
+
+def test_effect_of_star_and_pure_markers():
+    assert E.Effect.of("*").is_star
+    assert E.Effect.of("impure").is_star
+    assert E.Effect.of("pure").is_pure
+    assert E.Effect.of(".").is_pure
+    assert E.Effect.of("").is_pure
+
+
+def test_effect_of_class_star_label():
+    eff = E.Effect.of("Post.*")
+    assert eff.regions == frozenset({E.Region("Post")})
+
+
+def test_union_with_star_is_star():
+    assert (E.Effect.of("Post") | E.STAR).is_star
+    assert (E.STAR | E.Effect.of("Post")).is_star
+
+
+def test_union_merges_regions():
+    eff = E.Effect.of("Post.title") | E.Effect.of("User.name")
+    assert len(eff.regions) == 2
+
+
+def test_resolve_self_substitutes_receiver_class():
+    eff = E.Effect.of("self.title")
+    resolved = eff.resolve_self("Post")
+    assert resolved == E.Effect.of("Post.title")
+
+
+def test_resolve_self_leaves_other_classes_alone():
+    eff = E.Effect.of("User.name")
+    assert eff.resolve_self("Post") == eff
+
+
+def test_effect_str():
+    assert str(E.PURE) == "pure"
+    assert str(E.STAR) == "*"
+    assert str(E.Effect.of("Post.title")) == "Post.title"
+
+
+def test_effect_classes():
+    eff = E.Effect.of("Post.title", "User")
+    assert eff.classes() == frozenset({"Post", "User"})
+
+
+# ---------------------------------------------------------------------------
+# Subsumption
+# ---------------------------------------------------------------------------
+
+
+def test_pure_is_bottom_star_is_top():
+    post = E.Effect.of("Post.title")
+    assert E.subsumed(E.PURE, post)
+    assert E.subsumed(post, E.STAR)
+    assert not E.subsumed(E.STAR, post)
+
+
+def test_region_subsumed_by_class_effect():
+    assert E.subsumed(E.Effect.of("Post.title"), E.Effect.of("Post"))
+    assert not E.subsumed(E.Effect.of("Post"), E.Effect.of("Post.title"))
+
+
+def test_region_not_subsumed_across_classes():
+    assert not E.subsumed(E.Effect.of("Post.title"), E.Effect.of("User"))
+
+
+def test_subsumption_respects_class_hierarchy():
+    ct = ClassTable()
+    ct.add_class("ActiveRecord::Base")
+    ct.add_class("Post", "ActiveRecord::Base")
+    sub = E.Effect.of("Post.title")
+    sup_region = E.Effect.of("ActiveRecord::Base.title")
+    sup_class = E.Effect.of("ActiveRecord::Base")
+    assert E.subsumed(sub, sup_region, ct)
+    assert E.subsumed(sub, sup_class, ct)
+    assert not E.subsumed(sup_region, sub, ct)
+
+
+def test_union_subsumption():
+    union = E.Effect.of("Post.title", "Post.slug")
+    assert E.subsumed(E.Effect.of("Post.title"), union)
+    assert E.subsumed(union, E.Effect.of("Post"))
+    assert not E.subsumed(union, E.Effect.of("Post.title"))
+
+
+def test_overlaps():
+    assert E.overlaps(E.Effect.of("Post.title"), E.Effect.of("Post"))
+    assert E.overlaps(E.Effect.of("Post"), E.Effect.of("Post.title"))
+    assert not E.overlaps(E.Effect.of("Post.title"), E.Effect.of("User"))
+    assert not E.overlaps(E.PURE, E.STAR)
+    assert E.overlaps(E.STAR, E.Effect.of("User"))
+
+
+# ---------------------------------------------------------------------------
+# Effect pairs
+# ---------------------------------------------------------------------------
+
+
+def test_effect_pair_of_and_union():
+    pair = E.EffectPair.of(read="Post.title", write="Post")
+    other = E.EffectPair.of(read="User.name")
+    merged = pair.union(other)
+    assert E.subsumed(E.Effect.of("Post.title"), merged.read)
+    assert E.subsumed(E.Effect.of("User.name"), merged.read)
+    assert merged.write == E.Effect.of("Post")
+
+
+def test_effect_pair_is_pure():
+    assert E.EffectPair.pure().is_pure
+    assert not E.EffectPair.of(write="Post").is_pure
+
+
+def test_effect_pair_resolve_self():
+    pair = E.EffectPair.of(read="self", write="self.title")
+    resolved = pair.resolve_self("Post")
+    assert resolved.read == E.Effect.of("Post")
+    assert resolved.write == E.Effect.of("Post.title")
+
+
+def test_effect_pair_str():
+    assert "read" in str(E.EffectPair.of(read="Post"))
+
+
+# ---------------------------------------------------------------------------
+# Coarsening (Figure 8)
+# ---------------------------------------------------------------------------
+
+
+def test_coarsen_precise_is_identity():
+    eff = E.Effect.of("Post.title")
+    assert E.coarsen(eff, E.PRECISION_PRECISE) == eff
+
+
+def test_coarsen_class_drops_regions():
+    eff = E.Effect.of("Post.title", "User.name")
+    coarse = E.coarsen(eff, E.PRECISION_CLASS)
+    assert coarse == E.Effect.of("Post", "User")
+
+
+def test_coarsen_purity_maps_impure_to_star():
+    assert E.coarsen(E.Effect.of("Post.title"), E.PRECISION_PURITY).is_star
+    assert E.coarsen(E.PURE, E.PRECISION_PURITY).is_pure
+
+
+def test_coarsen_unknown_precision_raises():
+    with pytest.raises(ValueError):
+        E.coarsen(E.PURE, "bogus")
+
+
+def test_coarsen_pair():
+    pair = E.EffectPair.of(read="Post.title", write="Post.slug")
+    coarse = E.coarsen_pair(pair, E.PRECISION_CLASS)
+    assert coarse.read == E.Effect.of("Post")
+    assert coarse.write == E.Effect.of("Post")
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+_regions = st.sampled_from(
+    [
+        E.Effect.of("Post.title"),
+        E.Effect.of("Post.slug"),
+        E.Effect.of("Post"),
+        E.Effect.of("User.name"),
+        E.Effect.of("User"),
+        E.PURE,
+        E.STAR,
+    ]
+)
+
+_effects = st.lists(_regions, min_size=1, max_size=3).map(
+    lambda es: es[0] if len(es) == 1 else es[0].union(es[1] if len(es) > 1 else es[0]).union(es[-1])
+)
+
+
+@given(_effects)
+@settings(max_examples=60, deadline=None)
+def test_subsumption_reflexive(e):
+    assert E.subsumed(e, e)
+
+
+@given(_effects)
+@settings(max_examples=60, deadline=None)
+def test_pure_bottom_star_top(e):
+    assert E.subsumed(E.PURE, e)
+    assert E.subsumed(e, E.STAR)
+
+
+@given(_effects, _effects)
+@settings(max_examples=60, deadline=None)
+def test_union_is_upper_bound(e1, e2):
+    u = e1 | e2
+    assert E.subsumed(e1, u)
+    assert E.subsumed(e2, u)
+
+
+@given(_effects, _effects, _effects)
+@settings(max_examples=60, deadline=None)
+def test_subsumption_transitive_on_samples(e1, e2, e3):
+    if E.subsumed(e1, e2) and E.subsumed(e2, e3):
+        assert E.subsumed(e1, e3)
+
+
+@given(_effects, st.sampled_from(E.PRECISIONS))
+@settings(max_examples=60, deadline=None)
+def test_coarsening_only_weakens(e, precision):
+    assert E.subsumed(e, E.coarsen(e, precision))

@@ -1,0 +1,228 @@
+"""Tests for the interpreter, runtime values and effect logging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang import types as T
+from repro.lang import values as V
+from repro.lang.effects import Effect
+from repro.interp import Interpreter, effect_capture
+from repro.interp.effect_log import EffectLog, active_capture_depth, log_effect
+from repro.interp.errors import NoMethodError, SynRuntimeError, UnboundVariableError
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+
+def test_symbols_are_interned():
+    assert V.Symbol("title") is V.Symbol("title")
+    assert V.sym("a") != V.sym("b")
+    assert repr(V.sym("a")) == ":a"
+
+
+def test_symbols_are_immutable():
+    with pytest.raises(AttributeError):
+        V.Symbol("title").name = "other"
+
+
+def test_hash_value_basics():
+    h = V.HashValue.of(title="Foo", author="bar")
+    assert h[V.sym("title")] == "Foo"
+    assert V.sym("author") in h
+    assert len(h) == 2
+    assert h.to_kwargs() == {"title": "Foo", "author": "bar"}
+    assert h == V.HashValue.of(author="bar", title="Foo")
+
+
+def test_truthiness_is_ruby_style():
+    assert not V.truthy(None)
+    assert not V.truthy(False)
+    assert V.truthy(0)
+    assert V.truthy("")
+    assert V.truthy([])
+
+
+def test_class_name_of_builtin_values():
+    assert V.class_name_of_value(None) == "NilClass"
+    assert V.class_name_of_value(True) == "TrueClass"
+    assert V.class_name_of_value(False) == "FalseClass"
+    assert V.class_name_of_value(3) == "Integer"
+    assert V.class_name_of_value("s") == "String"
+    assert V.class_name_of_value(V.sym("x")) == "Symbol"
+    assert V.class_name_of_value(V.HashValue.of()) == "Hash"
+    assert V.class_name_of_value(V.ClassValue("Post")) == "Post"
+
+
+def test_class_name_of_model_values(post_model):
+    post = post_model.create(title="T", author="a", slug="s")
+    assert V.class_name_of_value(post) == "Post"
+    assert V.class_name_of_value(post_model) == "Post"
+    assert V.is_class_value(post_model)
+    assert not V.is_class_value(post)
+
+
+def test_type_of_value(post_model):
+    assert V.type_of_value(None) == T.NIL
+    assert V.type_of_value(True) == T.TRUE_CLASS
+    assert V.type_of_value(V.sym("t")) == T.SymbolType("t")
+    assert V.type_of_value(post_model) == T.SingletonClassType("Post")
+    hash_type = V.type_of_value(V.HashValue.of(title="x"))
+    assert isinstance(hash_type, T.FiniteHashType)
+
+
+# ---------------------------------------------------------------------------
+# Effect log
+# ---------------------------------------------------------------------------
+
+
+def test_effect_capture_records_and_unwinds():
+    assert active_capture_depth() == 0
+    with effect_capture() as log:
+        assert active_capture_depth() == 1
+        log_effect(read=Effect.of("Post.title"))
+    assert active_capture_depth() == 0
+    assert log.read == Effect.of("Post.title")
+    assert log.calls == 1
+
+
+def test_nested_captures_both_record():
+    with effect_capture() as outer:
+        with effect_capture() as inner:
+            log_effect(write=Effect.of("Post"))
+        log_effect(read=Effect.of("User"))
+    assert inner.write == Effect.of("Post")
+    assert inner.read.is_pure
+    assert outer.write == Effect.of("Post")
+    assert outer.read == Effect.of("User")
+
+
+def test_log_effect_without_capture_is_noop():
+    log_effect(read=Effect.of("Post"))  # must not raise
+
+
+def test_effect_log_reset():
+    log = EffectLog()
+    log.record(read=Effect.of("Post"))
+    log.reset()
+    assert log.pair.is_pure
+    assert log.calls == 0
+
+
+# ---------------------------------------------------------------------------
+# Interpreter
+# ---------------------------------------------------------------------------
+
+
+def test_eval_literals(orm_class_table):
+    interp = Interpreter(orm_class_table)
+    assert interp.eval(A.NIL) is None
+    assert interp.eval(A.TRUE) is True
+    assert interp.eval(A.IntLit(3)) == 3
+    assert interp.eval(A.StrLit("x")) == "x"
+    assert interp.eval(A.SymLit("t")) == V.sym("t")
+
+
+def test_eval_variables_and_unbound(orm_class_table):
+    interp = Interpreter(orm_class_table)
+    assert interp.eval(A.Var("x"), {"x": 41}) == 41
+    with pytest.raises(UnboundVariableError):
+        interp.eval(A.Var("y"), {})
+
+
+def test_eval_const_ref_returns_model_class(orm_class_table, post_model):
+    interp = Interpreter(orm_class_table)
+    assert interp.eval(A.ConstRef("Post")) is post_model
+
+
+def test_eval_const_ref_unknown(orm_class_table):
+    interp = Interpreter(orm_class_table)
+    with pytest.raises(SynRuntimeError):
+        interp.eval(A.ConstRef("Ghost"))
+
+
+def test_eval_seq_let_if_or_not(orm_class_table):
+    interp = Interpreter(orm_class_table)
+    assert interp.eval(A.Seq(A.IntLit(1), A.IntLit(2))) == 2
+    assert interp.eval(A.Let("x", A.IntLit(5), A.Var("x"))) == 5
+    assert interp.eval(A.If(A.FALSE, A.IntLit(1), A.IntLit(2))) == 2
+    assert interp.eval(A.If(A.NIL, A.IntLit(1), A.IntLit(2))) == 2
+    assert interp.eval(A.Not(A.NIL)) is True
+    assert interp.eval(A.Or(A.FALSE, A.StrLit("x"))) == "x"
+    assert interp.eval(A.Or(A.IntLit(1), A.StrLit("x"))) == 1
+
+
+def test_eval_hash_literal(orm_class_table):
+    interp = Interpreter(orm_class_table)
+    value = interp.eval(A.hash_lit(title=A.StrLit("Foo")))
+    assert isinstance(value, V.HashValue)
+    assert value[V.sym("title")] == "Foo"
+
+
+def test_eval_holes_rejected(orm_class_table):
+    interp = Interpreter(orm_class_table)
+    with pytest.raises(SynRuntimeError):
+        interp.eval(A.TypedHole(T.STRING))
+
+
+def test_method_dispatch_and_effects(orm_class_table, post_model):
+    post_model.create(author="a", title="Hello", slug="hw")
+    interp = Interpreter(orm_class_table)
+    expr = A.call(
+        A.call(A.call(A.ConstRef("Post"), "where", A.hash_lit(slug=A.StrLit("hw"))), "first"),
+        "title",
+    )
+    with effect_capture() as log:
+        assert interp.eval(expr) == "Hello"
+    assert Effect.of("Post.title").regions <= log.read.regions
+
+
+def test_method_call_on_nil_raises_no_method(orm_class_table):
+    interp = Interpreter(orm_class_table)
+    with pytest.raises(NoMethodError):
+        interp.eval(A.call(A.NIL, "title"))
+
+
+def test_unknown_method_raises(orm_class_table, post_model):
+    post_model.create(author="a", title="t", slug="s")
+    interp = Interpreter(orm_class_table)
+    with pytest.raises(NoMethodError):
+        interp.eval(A.call(A.call(A.ConstRef("Post"), "first"), "frobnicate"))
+
+
+def test_setter_writes_through_to_database(orm_class_table, post_model):
+    post_model.create(author="a", title="Hello", slug="hw")
+    interp = Interpreter(orm_class_table)
+    expr = A.call(A.call(A.ConstRef("Post"), "first"), "title=", A.StrLit("New"))
+    interp.eval(expr)
+    assert post_model.first().title == "New"
+
+
+def test_call_program_binds_parameters(orm_class_table):
+    interp = Interpreter(orm_class_table)
+    program = A.MethodDef("m", ("arg0", "arg1"), A.Var("arg1"))
+    assert interp.call_program(program, "a", "b") == "b"
+    with pytest.raises(SynRuntimeError):
+        interp.call_program(program, "only-one")
+
+
+def test_hash_index_method(orm_class_table):
+    interp = Interpreter(orm_class_table)
+    expr = A.call(A.Var("h"), "[]", A.SymLit("title"))
+    assert interp.eval(expr, {"h": V.HashValue.of(title="Foo")}) == "Foo"
+
+
+def test_integer_arithmetic_methods(orm_class_table):
+    interp = Interpreter(orm_class_table)
+    assert interp.eval(A.call(A.IntLit(5), "-", A.IntLit(1))) == 4
+    assert interp.eval(A.call(A.IntLit(5), "+", A.IntLit(2))) == 7
+
+
+def test_call_budget_exhaustion(orm_class_table):
+    interp = Interpreter(orm_class_table, max_calls=2)
+    expr = A.call(A.call(A.call(A.IntLit(1), "+", A.IntLit(1)), "+", A.IntLit(1)), "+", A.IntLit(1))
+    with pytest.raises(SynRuntimeError):
+        interp.eval(expr)

@@ -1,0 +1,178 @@
+"""Tests for the DPLL SAT solver and the guard implication encoder."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast as A
+from repro.synth import sat
+from repro.synth.implication import GuardEncoder, negate
+
+
+# ---------------------------------------------------------------------------
+# SAT solver
+# ---------------------------------------------------------------------------
+
+
+def test_single_variable_satisfiable():
+    assert sat.is_satisfiable(sat.BVar("a"))
+    assert sat.is_satisfiable(sat.BNot(sat.BVar("a")))
+
+
+def test_contradiction_unsatisfiable():
+    a = sat.BVar("a")
+    assert not sat.is_satisfiable(sat.BAnd(a, sat.BNot(a)))
+
+
+def test_tautology_valid():
+    a = sat.BVar("a")
+    assert sat.is_valid(sat.BOr(a, sat.BNot(a)))
+    assert not sat.is_valid(a)
+
+
+def test_constants():
+    assert sat.is_satisfiable(sat.TRUE)
+    assert not sat.is_satisfiable(sat.FALSE)
+    assert sat.is_valid(sat.TRUE)
+
+
+def test_implication_queries():
+    a, b = sat.BVar("a"), sat.BVar("b")
+    assert sat.implies(sat.BAnd(a, b), a)
+    assert not sat.implies(a, sat.BAnd(a, b))
+    assert sat.implies(a, sat.BOr(a, b))
+    assert sat.implies(sat.FALSE, a)
+    assert sat.implies(a, sat.TRUE)
+
+
+def test_equivalence():
+    a, b = sat.BVar("a"), sat.BVar("b")
+    assert sat.equivalent(sat.BOr(a, b), sat.BOr(b, a))
+    assert sat.equivalent(sat.BNot(sat.BNot(a)), a)
+    assert not sat.equivalent(a, b)
+
+
+def test_implies_formula_operator_sugar():
+    a, b = sat.BVar("a"), sat.BVar("b")
+    assert sat.is_valid((a & b).implies(a))
+    assert sat.is_satisfiable(~a | b)
+
+
+def test_solve_returns_model():
+    a, b = sat.BVar("a"), sat.BVar("b")
+    model = sat.solve(sat.to_cnf(sat.BAnd(a, sat.BNot(b))))
+    assert model["a"] is True
+    assert model["b"] is False
+
+
+def _eval_formula(f, assignment):
+    if isinstance(f, sat.BConst):
+        return f.value
+    if isinstance(f, sat.BVar):
+        return assignment[f.name]
+    if isinstance(f, sat.BNot):
+        return not _eval_formula(f.operand, assignment)
+    if isinstance(f, sat.BAnd):
+        return _eval_formula(f.left, assignment) and _eval_formula(f.right, assignment)
+    if isinstance(f, sat.BOr):
+        return _eval_formula(f.left, assignment) or _eval_formula(f.right, assignment)
+    if isinstance(f, sat.BImplies):
+        return (not _eval_formula(f.left, assignment)) or _eval_formula(f.right, assignment)
+    raise TypeError(f)
+
+
+_VARS = ["a", "b", "c"]
+
+
+def _formulas(depth=3):
+    base = st.one_of(
+        st.sampled_from([sat.BVar(v) for v in _VARS]),
+        st.sampled_from([sat.TRUE, sat.FALSE]),
+    )
+    if depth == 0:
+        return base
+    sub = _formulas(depth - 1)
+    return st.one_of(
+        base,
+        sub.map(sat.BNot),
+        st.tuples(sub, sub).map(lambda p: sat.BAnd(*p)),
+        st.tuples(sub, sub).map(lambda p: sat.BOr(*p)),
+        st.tuples(sub, sub).map(lambda p: sat.BImplies(*p)),
+    )
+
+
+@given(_formulas())
+@settings(max_examples=100, deadline=None)
+def test_solver_agrees_with_truth_tables(formula):
+    """DPLL satisfiability must match brute-force truth-table evaluation."""
+
+    brute = any(
+        _eval_formula(formula, dict(zip(_VARS, values)))
+        for values in itertools.product([True, False], repeat=len(_VARS))
+    )
+    assert sat.is_satisfiable(formula) == brute
+
+
+@given(_formulas())
+@settings(max_examples=60, deadline=None)
+def test_validity_is_negated_unsatisfiability(formula):
+    assert sat.is_valid(formula) == (not sat.is_satisfiable(sat.BNot(formula)))
+
+
+# ---------------------------------------------------------------------------
+# Guard encoding / implication
+# ---------------------------------------------------------------------------
+
+
+def _guard(name="x"):
+    return A.call(A.ConstRef("Post"), "exists?", A.hash_lit(slug=A.Var(name)))
+
+
+def test_same_guard_implies_itself():
+    enc = GuardEncoder()
+    assert enc.implies(_guard(), _guard())
+
+
+def test_different_guards_do_not_imply():
+    enc = GuardEncoder()
+    assert not enc.implies(_guard("x"), _guard("y"))
+
+
+def test_true_is_implied_by_everything():
+    enc = GuardEncoder()
+    assert enc.implies(_guard(), A.TRUE)
+    assert enc.implies(A.TRUE, A.TRUE)
+    assert not enc.implies(A.TRUE, _guard())
+
+
+def test_false_and_nil_imply_everything():
+    enc = GuardEncoder()
+    assert enc.implies(A.FALSE, _guard())
+    assert enc.implies(A.NIL, _guard())
+
+
+def test_negation_and_disjunction_encoding():
+    enc = GuardEncoder()
+    g = _guard()
+    assert enc.implies(g, A.Or(g, _guard("y")))
+    assert enc.is_negation(A.Not(g), g)
+    assert enc.is_negation(g, A.Not(g))
+    assert not enc.is_negation(g, _guard("y"))
+
+
+def test_equivalent_guards():
+    enc = GuardEncoder()
+    g, h = _guard("x"), _guard("y")
+    assert enc.equivalent(A.Or(g, h), A.Or(h, g))
+    assert not enc.equivalent(g, h)
+
+
+def test_negate_helper():
+    g = _guard()
+    assert negate(g) == A.Not(g)
+    assert negate(A.Not(g)) == g
+    assert negate(A.TRUE) == A.FALSE
+    assert negate(A.FALSE) == A.TRUE

@@ -1,0 +1,130 @@
+"""Tests for the RDL-style signature string parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import types as T
+from repro.typesys.sigparser import SignatureError, parse_method_sig, parse_type, tokenize
+
+
+def test_tokenize_simple():
+    kinds = [t.kind for t in tokenize("(Str) -> Post")]
+    assert kinds == ["lparen", "name", "rparen", "arrow", "name", "eof"]
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(SignatureError):
+        tokenize("Str $ Int")
+
+
+def test_parse_simple_class():
+    assert parse_type("Post") == T.ClassType("Post")
+
+
+def test_parse_aliases():
+    assert parse_type("Str") == T.STRING
+    assert parse_type("Int") == T.INT
+    assert parse_type("Bool") == T.BOOL
+    assert parse_type("%bool") == T.BOOL
+
+
+def test_parse_union():
+    assert parse_type("User or Nil") == T.union(T.ClassType("User"), T.NIL)
+
+
+def test_parse_nested_union():
+    result = parse_type("Str or Int or Nil")
+    assert T.is_subtype(T.STRING, result)
+    assert T.is_subtype(T.INT, result)
+    assert T.is_subtype(T.NIL, result)
+
+
+def test_parse_singleton_class():
+    assert parse_type("Class<Post>") == T.SingletonClassType("Post")
+
+
+def test_parse_symbol_type():
+    assert parse_type(":title") == T.SymbolType("title")
+
+
+def test_parse_namespaced_class():
+    assert parse_type("ActiveRecord::Base") == T.ClassType("ActiveRecord::Base")
+
+
+def test_parse_finite_hash_required_and_optional():
+    result = parse_type("{author: Str, title: ?Str}")
+    assert isinstance(result, T.FiniteHashType)
+    assert result.required_map == {"author": T.STRING}
+    assert result.optional_map == {"title": T.STRING}
+
+
+def test_parse_empty_hash():
+    result = parse_type("{}")
+    assert isinstance(result, T.FiniteHashType)
+    assert result.all_keys == {}
+
+
+def test_parse_hash_duplicate_key_rejected():
+    with pytest.raises(SignatureError):
+        parse_type("{a: Str, a: Int}")
+
+
+def test_parse_parenthesised_type():
+    assert parse_type("(Str)") == T.STRING
+
+
+def test_parse_method_sig_overview_example():
+    args, ret = parse_method_sig(
+        "(Str, Str, {author: ?Str, title: ?Str, slug: ?Str}) -> Post"
+    )
+    assert len(args) == 3
+    assert args[0] == T.STRING
+    assert isinstance(args[2], T.FiniteHashType)
+    assert set(args[2].optional_map) == {"author", "title", "slug"}
+    assert ret == T.ClassType("Post")
+
+
+def test_parse_method_sig_zero_args():
+    args, ret = parse_method_sig("() -> Bool")
+    assert args == ()
+    assert ret == T.BOOL
+
+
+def test_parse_method_sig_single_arg_shorthand():
+    args, ret = parse_method_sig("Str -> Post")
+    assert args == (T.STRING,)
+    assert ret == T.ClassType("Post")
+
+
+def test_parse_method_sig_unicode_arrow():
+    args, ret = parse_method_sig("(Int) → User")
+    assert args == (T.INT,)
+    assert ret == T.ClassType("User")
+
+
+def test_parse_method_sig_union_return():
+    _, ret = parse_method_sig("(Str) -> User or Nil")
+    assert T.is_subtype(T.NIL, ret)
+
+
+def test_parse_method_sig_trailing_garbage_rejected():
+    with pytest.raises(SignatureError):
+        parse_method_sig("(Str) -> Post extra")
+
+
+def test_parse_method_sig_missing_arrow_rejected():
+    with pytest.raises(SignatureError):
+        parse_method_sig("(Str) Post")
+
+
+def test_parse_type_trailing_garbage_rejected():
+    with pytest.raises(SignatureError):
+        parse_type("Str Int")
+
+
+def test_method_names_with_bang_and_question():
+    # Names like "exists?" appear in documentation strings; the tokenizer
+    # accepts them as single tokens.
+    tokens = tokenize("exists? use!")
+    assert [t.text for t in tokens[:-1]] == ["exists?", "use!"]

@@ -1,0 +1,144 @@
+"""Tests for typechecking candidate expressions (with and without holes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang import types as T
+from repro.lang.effects import Effect
+from repro.typesys.typecheck import SynTypeError, check_expr, check_program, well_typed
+
+
+ENV = {"arg0": T.STRING, "arg1": T.STRING}
+
+
+def check(expr, ct, env=None):
+    return check_expr(expr, env if env is not None else ENV, ct)
+
+
+def test_literals(orm_class_table):
+    ct = orm_class_table
+    assert check(A.NIL, ct) == T.NIL
+    assert check(A.TRUE, ct) == T.TRUE_CLASS
+    assert check(A.FALSE, ct) == T.FALSE_CLASS
+    assert check(A.IntLit(3), ct) == T.INT
+    assert check(A.StrLit("x"), ct) == T.STRING
+    assert check(A.SymLit("title"), ct) == T.SymbolType("title")
+
+
+def test_variables_and_unbound(orm_class_table):
+    assert check(A.Var("arg0"), orm_class_table) == T.STRING
+    with pytest.raises(SynTypeError):
+        check(A.Var("nope"), orm_class_table)
+
+
+def test_const_ref(orm_class_table):
+    assert check(A.ConstRef("Post"), orm_class_table) == T.SingletonClassType("Post")
+    with pytest.raises(SynTypeError):
+        check(A.ConstRef("Ghost"), orm_class_table)
+
+
+def test_holes(orm_class_table):
+    assert check(A.TypedHole(T.STRING), orm_class_table) == T.STRING
+    assert check(A.EffectHole(Effect.of("Post")), orm_class_table) == T.OBJECT
+
+
+def test_seq_types_as_second(orm_class_table):
+    expr = A.Seq(A.StrLit("x"), A.IntLit(1))
+    assert check(expr, orm_class_table) == T.INT
+
+
+def test_let_extends_environment(orm_class_table):
+    expr = A.Let("t", A.call(A.ConstRef("Post"), "first"), A.call(A.Var("t"), "title"))
+    assert check(expr, orm_class_table) == T.STRING
+
+
+def test_hash_literal_type(orm_class_table):
+    expr = A.hash_lit(slug=A.Var("arg0"))
+    result = check(expr, orm_class_table)
+    assert isinstance(result, T.FiniteHashType)
+    assert result.required_map == {"slug": T.STRING}
+
+
+def test_method_call_on_class_constant(orm_class_table):
+    expr = A.call(A.ConstRef("Post"), "where", A.hash_lit(slug=A.Var("arg0")))
+    assert check(expr, orm_class_table) == T.ClassType("PostRelation")
+
+
+def test_method_chain_types(orm_class_table):
+    expr = A.call(
+        A.call(A.ConstRef("Post"), "where", A.hash_lit(slug=A.Var("arg0"))), "first"
+    )
+    assert check(expr, orm_class_table) == T.ClassType("Post")
+
+
+def test_unknown_method_rejected(orm_class_table):
+    with pytest.raises(SynTypeError):
+        check(A.call(A.ConstRef("Post"), "frobnicate"), orm_class_table)
+
+
+def test_call_on_nil_receiver_rejected(orm_class_table):
+    """The narrowing example of Section 3.1: nil receivers are type errors."""
+
+    with pytest.raises(SynTypeError):
+        check(A.call(A.NIL, "title"), orm_class_table)
+
+
+def test_arity_mismatch_rejected(orm_class_table):
+    with pytest.raises(SynTypeError):
+        check(A.call(A.ConstRef("Post"), "where"), orm_class_table)
+
+
+def test_argument_type_mismatch_rejected(orm_class_table):
+    expr = A.call(A.call(A.ConstRef("Post"), "first"), "title=", A.IntLit(3))
+    with pytest.raises(SynTypeError):
+        check(expr, orm_class_table)
+
+
+def test_nil_argument_allowed_anywhere(orm_class_table):
+    # Nil is the bottom type, so nil is an acceptable argument value.
+    expr = A.call(A.call(A.ConstRef("Post"), "first"), "title=", A.NIL)
+    assert check(expr, orm_class_table) == T.STRING
+
+
+def test_hash_index_comp_type(orm_class_table):
+    env = {
+        "arg2": T.FiniteHashType.make(optional={"title": T.STRING, "author": T.STRING})
+    }
+    expr = A.call(A.Var("arg2"), "[]", A.SymLit("title"))
+    assert check(expr, orm_class_table, env) == T.STRING
+
+
+def test_hash_index_with_wrong_symbol_rejected(orm_class_table):
+    env = {"arg2": T.FiniteHashType.make(optional={"title": T.STRING})}
+    expr = A.call(A.Var("arg2"), "[]", A.SymLit("missing"))
+    with pytest.raises(SynTypeError):
+        check(expr, orm_class_table, env)
+
+
+def test_if_type_is_lub(orm_class_table):
+    expr = A.If(A.TRUE, A.call(A.ConstRef("Post"), "first"), A.NIL)
+    assert check(expr, orm_class_table) == T.ClassType("Post")
+
+
+def test_guards_are_boolean(orm_class_table):
+    assert check(A.Not(A.TRUE), orm_class_table) == T.BOOL
+    assert check(A.Or(A.TRUE, A.FALSE), orm_class_table) == T.BOOL
+
+
+def test_check_program(orm_class_table):
+    program = A.MethodDef("m", ("arg0",), A.Var("arg0"))
+    assert check_program(program, {"arg0": T.STRING}, orm_class_table) == T.STRING
+
+
+def test_well_typed_wrapper(orm_class_table):
+    assert well_typed(A.Var("arg0"), ENV, orm_class_table)
+    assert not well_typed(A.Var("ghost"), ENV, orm_class_table)
+
+
+def test_union_receiver_requires_method_on_all_members(orm_class_table):
+    orm_class_table.add_class("Draft")
+    env = {"x": T.union(T.ClassType("Post"), T.ClassType("Draft"))}
+    with pytest.raises(SynTypeError):
+        check(A.call(A.Var("x"), "title"), orm_class_table, env)

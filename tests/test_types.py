@@ -1,0 +1,252 @@
+"""Unit and property tests for the lambda-syn type lattice."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import types as T
+from repro.typesys.class_table import ClassTable
+
+
+# ---------------------------------------------------------------------------
+# Construction and printing
+# ---------------------------------------------------------------------------
+
+
+def test_class_type_aliases_resolve():
+    assert T.class_type("Str") == T.STRING
+    assert T.class_type("Int") == T.INT
+    assert T.class_type("Bool") == T.BOOL
+    assert T.class_type("Nil") == T.NIL
+    assert T.class_type("Obj") == T.OBJECT
+
+
+def test_class_type_unknown_name_passthrough():
+    assert T.class_type("Post") == T.ClassType("Post")
+
+
+def test_singleton_class_type_str():
+    assert str(T.SingletonClassType("Post")) == "Class<Post>"
+
+
+def test_symbol_type_str():
+    assert str(T.SymbolType("title")) == ":title"
+
+
+def test_union_flattens_and_dedupes():
+    u = T.union(T.STRING, T.union(T.INT, T.STRING))
+    assert isinstance(u, T.UnionType)
+    assert set(u.members) == {T.STRING, T.INT}
+
+
+def test_union_of_single_type_is_that_type():
+    assert T.union(T.STRING, T.STRING) == T.STRING
+
+
+def test_union_requires_at_least_one_type():
+    with pytest.raises(ValueError):
+        T.union()
+
+
+def test_union_type_requires_two_members():
+    with pytest.raises(ValueError):
+        T.UnionType((T.STRING,))
+
+
+def test_union_members_of_non_union():
+    assert T.union_members(T.STRING) == (T.STRING,)
+
+
+def test_finite_hash_make_rejects_overlapping_keys():
+    with pytest.raises(ValueError):
+        T.FiniteHashType.make(required={"a": T.STRING}, optional={"a": T.INT})
+
+
+def test_finite_hash_all_keys_and_value_type():
+    h = T.FiniteHashType.make(required={"a": T.STRING}, optional={"b": T.INT})
+    assert h.all_keys == {"a": T.STRING, "b": T.INT}
+    assert h.value_type("a") == T.STRING
+    assert h.value_type("b") == T.INT
+    assert h.value_type("missing") is None
+
+
+def test_finite_hash_str_marks_optional_keys():
+    h = T.FiniteHashType.make(required={"a": T.STRING}, optional={"b": T.INT})
+    text = str(h)
+    assert "a: String" in text
+    assert "b: ?Integer" in text
+
+
+# ---------------------------------------------------------------------------
+# Subtyping
+# ---------------------------------------------------------------------------
+
+
+def test_nil_is_bottom():
+    assert T.is_subtype(T.NIL, T.STRING)
+    assert T.is_subtype(T.NIL, T.ClassType("Post"))
+    assert not T.is_subtype(T.STRING, T.NIL)
+
+
+def test_object_is_top():
+    assert T.is_subtype(T.STRING, T.OBJECT)
+    assert T.is_subtype(T.SingletonClassType("Post"), T.OBJECT)
+    assert not T.is_subtype(T.OBJECT, T.STRING)
+
+
+def test_true_and_false_are_booleans():
+    assert T.is_subtype(T.TRUE_CLASS, T.BOOL)
+    assert T.is_subtype(T.FALSE_CLASS, T.BOOL)
+    assert not T.is_subtype(T.BOOL, T.TRUE_CLASS)
+
+
+def test_union_on_left_requires_all_members():
+    u = T.union(T.TRUE_CLASS, T.FALSE_CLASS)
+    assert T.is_subtype(u, T.BOOL)
+    assert not T.is_subtype(T.union(T.STRING, T.INT), T.STRING)
+
+
+def test_union_on_right_requires_some_member():
+    u = T.union(T.STRING, T.INT)
+    assert T.is_subtype(T.STRING, u)
+    assert T.is_subtype(T.INT, u)
+    assert not T.is_subtype(T.BOOL, u)
+
+
+def test_symbol_singleton_subtype_of_symbol():
+    assert T.is_subtype(T.SymbolType("title"), T.SYMBOL)
+    assert not T.is_subtype(T.SYMBOL, T.SymbolType("title"))
+    assert not T.is_subtype(T.SymbolType("title"), T.SymbolType("slug"))
+
+
+def test_finite_hash_subtype_of_hash():
+    h = T.FiniteHashType.make(required={"a": T.STRING})
+    assert T.is_subtype(h, T.HASH)
+
+
+def test_finite_hash_width_subtyping():
+    narrow = T.FiniteHashType.make(required={"a": T.STRING})
+    wide = T.FiniteHashType.make(optional={"a": T.STRING, "b": T.INT})
+    assert T.is_subtype(narrow, wide)
+    # The other direction fails: ``wide`` does not provide required key "a".
+    required_wide = T.FiniteHashType.make(required={"a": T.STRING, "b": T.INT})
+    assert not T.is_subtype(narrow, required_wide)
+
+
+def test_finite_hash_rejects_unknown_keys():
+    literal = T.FiniteHashType.make(required={"z": T.STRING})
+    target = T.FiniteHashType.make(optional={"a": T.STRING})
+    assert not T.is_subtype(literal, target)
+
+
+def test_finite_hash_depth_subtyping():
+    literal = T.FiniteHashType.make(required={"a": T.TRUE_CLASS})
+    target = T.FiniteHashType.make(optional={"a": T.BOOL})
+    assert T.is_subtype(literal, target)
+
+
+def test_subtyping_with_class_table_hierarchy():
+    ct = ClassTable()
+    ct.add_class("Animal")
+    ct.add_class("Dog", "Animal")
+    assert T.is_subtype(T.ClassType("Dog"), T.ClassType("Animal"), ct)
+    assert not T.is_subtype(T.ClassType("Animal"), T.ClassType("Dog"), ct)
+
+
+def test_singleton_class_subtyping_is_nominal():
+    assert T.is_subtype(T.SingletonClassType("Post"), T.SingletonClassType("Post"))
+    assert not T.is_subtype(
+        T.SingletonClassType("Post"), T.SingletonClassType("User")
+    )
+
+
+# ---------------------------------------------------------------------------
+# lub / helpers
+# ---------------------------------------------------------------------------
+
+
+def test_lub_collapses_comparable_types():
+    assert T.lub(T.TRUE_CLASS, T.BOOL) == T.BOOL
+    assert T.lub(T.BOOL, T.TRUE_CLASS) == T.BOOL
+    assert T.lub(T.NIL, T.STRING) == T.STRING
+
+
+def test_lub_of_unrelated_types_is_union():
+    result = T.lub(T.STRING, T.INT)
+    assert isinstance(result, T.UnionType)
+    assert set(result.members) == {T.STRING, T.INT}
+
+
+def test_is_boolish():
+    assert T.is_boolish(T.BOOL)
+    assert T.is_boolish(T.TRUE_CLASS)
+    assert T.is_boolish(T.union(T.BOOL, T.STRING))
+    assert not T.is_boolish(T.STRING)
+
+
+def test_type_names():
+    names = set(T.type_names(T.union(T.STRING, T.SingletonClassType("Post"))))
+    assert names == {"String", "Post"}
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+_CLASS_NAMES = ["Object", "NilClass", "Boolean", "TrueClass", "FalseClass",
+                "Integer", "String", "Symbol", "Hash"]
+
+_simple_types = st.one_of(
+    st.sampled_from([T.ClassType(n) for n in _CLASS_NAMES]),
+    st.sampled_from([T.SymbolType("a"), T.SymbolType("b")]),
+    st.sampled_from([T.SingletonClassType("String"), T.SingletonClassType("Hash")]),
+)
+
+
+def _types(depth=2):
+    if depth == 0:
+        return _simple_types
+    return st.one_of(
+        _simple_types,
+        st.lists(_types(depth - 1), min_size=2, max_size=3).map(lambda ts: T.union(*ts)),
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]), _simple_types, max_size=2
+        ).map(lambda d: T.FiniteHashType.make(optional=d)),
+    )
+
+
+@given(_types())
+@settings(max_examples=60, deadline=None)
+def test_subtyping_is_reflexive(t):
+    assert T.is_subtype(t, t)
+
+
+@given(_types())
+@settings(max_examples=60, deadline=None)
+def test_nil_below_and_object_above_everything(t):
+    assert T.is_subtype(T.NIL, t)
+    assert T.is_subtype(t, T.OBJECT)
+
+
+@given(_types(), _types())
+@settings(max_examples=60, deadline=None)
+def test_lub_is_an_upper_bound(t1, t2):
+    bound = T.lub(t1, t2)
+    assert T.is_subtype(t1, bound)
+    assert T.is_subtype(t2, bound)
+
+
+@given(_types(), _types(), _types())
+@settings(max_examples=60, deadline=None)
+def test_subtyping_is_transitive_on_samples(t1, t2, t3):
+    if T.is_subtype(t1, t2) and T.is_subtype(t2, t3):
+        assert T.is_subtype(t1, t3)
+
+
+@given(_types(), _types())
+@settings(max_examples=60, deadline=None)
+def test_union_is_commutative_for_subtyping(t1, t2):
+    u1, u2 = T.union(t1, t2), T.union(t2, t1)
+    assert T.is_subtype(u1, u2) and T.is_subtype(u2, u1)
