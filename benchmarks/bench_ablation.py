@@ -6,7 +6,10 @@ of representative benchmarks:
 
 * exploration order (passed-asserts-then-size vs size-only vs FIFO);
 * solution/guard reuse across specs;
-* type narrowing during hole filling.
+* type narrowing during hole filling;
+* spec-outcome memoization (the ``no_cache`` variant disables the
+  evaluation cache of :mod:`repro.synth.cache`; cache counters are
+  recorded in ``extra_info`` for every variant).
 """
 
 from __future__ import annotations
@@ -27,6 +30,8 @@ VARIANTS = {
     "order_fifo": {"exploration_order": ORDER_FIFO},
     "no_reuse": {"reuse_solutions": False, "try_negated_guards": False},
     "no_narrowing": {"narrow_types": False},
+    # A true cache-free baseline: no memo and no key bookkeeping either.
+    "no_cache": {"cache_spec_outcomes": False, "cache_track_redundancy": False},
 }
 
 
@@ -43,3 +48,6 @@ def test_ablation(benchmark, benchmark_id, variant):
     benchmark.extra_info["benchmark"] = benchmark_id
     benchmark.extra_info["variant"] = variant
     benchmark.extra_info["success"] = result.success
+    benchmark.extra_info["cache_hits"] = result.cache_hits
+    benchmark.extra_info["cache_misses"] = result.cache_misses
+    benchmark.extra_info["cache_redundant"] = result.cache_redundant

@@ -1,0 +1,231 @@
+"""Before/after comparison of the spec-evaluation cache (repro.synth.cache).
+
+For each selected registry benchmark the harness synthesizes twice with the
+same configuration -- once with ``cache_spec_outcomes=False`` and once with
+the cache enabled -- and emits a JSON report comparing the two runs:
+
+* ``executions`` -- spec/guard executions actually performed (the memo's
+  miss counter; a disabled cache executes every lookup);
+* ``redundant_executions`` -- executions whose ``(program, spec)`` pair had
+  already been run.  A disabled cache counts them (and runs them anyway);
+  an enabled cache answers them from the memo, so the executed count drops
+  to zero and shows up as ``cache_hits`` instead;
+* ``programs_identical`` -- whether both runs synthesized the same program
+  (the cache must never change synthesis results);
+* ``redundant_executions_eliminated`` -- the absolute number of re-runs the
+  memo removed (``redundant_off - redundant_on``); ``execution_reduction``
+  is the honest ratio of total executions (off / on).
+
+The acceptance target (checked by ``--check``, used by ``scripts/ci.sh``)
+is a >= 2x reduction in redundant spec executions on at least
+``--min-benchmarks`` benchmarks, with identical programs everywhere.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py --out cache_report.json
+    PYTHONPATH=src python benchmarks/bench_cache.py --check   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.benchmarks import get_benchmark, run_benchmark  # noqa: E402
+from repro.synth.config import SynthConfig  # noqa: E402
+
+#: Fast multi-spec registry benchmarks: enough reuse/merge activity to show
+#: redundancy, cheap enough for a CI smoke run.
+DEFAULT_BENCHMARKS = ("S1", "S4", "S5", "S7")
+
+SCHEMA_VERSION = 1
+
+#: Required keys per section, checked by validate_report (and CI).
+_RUN_KEYS = {"success", "elapsed_s", "executions", "redundant_executions", "cache_hits"}
+_ENTRY_KEYS = {
+    "id",
+    "cache_off",
+    "cache_on",
+    "programs_identical",
+    "program",
+    "redundant_executions_eliminated",
+    "execution_reduction",
+    "meets_target",
+}
+
+
+def _run(benchmark_id: str, timeout_s: float, cached: bool) -> Dict[str, object]:
+    benchmark = get_benchmark(benchmark_id)
+    config = SynthConfig.full(timeout_s=timeout_s, cache_spec_outcomes=cached)
+    result = run_benchmark(benchmark, config, runs=1)
+    # A disabled cache executes every lookup (misses AND redundant ones);
+    # an enabled cache executes only the misses.
+    executions = result.cache_misses + (0 if cached else result.cache_redundant)
+    return {
+        "success": result.success,
+        "elapsed_s": round(result.last_result.elapsed_s, 4),
+        "executions": executions,
+        "redundant_executions": result.cache_redundant if not cached else 0,
+        "cache_hits": result.cache_hits,
+        "_program": result.last_result.program,
+        "_text": result.program_text,
+    }
+
+
+def compare_benchmark(benchmark_id: str, timeout_s: float) -> Dict[str, object]:
+    """Run one benchmark cache-off then cache-on and diff the counters."""
+
+    off = _run(benchmark_id, timeout_s, cached=False)
+    on = _run(benchmark_id, timeout_s, cached=True)
+    program_off = off.pop("_program")
+    text_off = off.pop("_text")
+    program_on = on.pop("_program")
+    on.pop("_text")
+
+    identical = program_off == program_on
+    redundant_off = int(off["redundant_executions"])
+    redundant_on = int(on["redundant_executions"])  # 0 by construction: hits don't execute
+    execution_reduction = (
+        int(off["executions"]) / max(int(on["executions"]), 1)
+    )
+    # The ">=2x reduction in redundant executions" target: the enabled cache
+    # must execute at most half the redundant pairs the disabled run did
+    # (in practice it executes none of them, reported as cache hits), there
+    # must be real redundancy to remove, and the programs must be identical.
+    meets = (
+        identical
+        and bool(off["success"])
+        and bool(on["success"])
+        and redundant_off >= 2
+        and 2 * redundant_on <= redundant_off
+        and int(on["cache_hits"]) > 0
+    )
+    return {
+        "id": benchmark_id,
+        "cache_off": off,
+        "cache_on": on,
+        "programs_identical": identical,
+        "program": text_off,
+        "redundant_executions_eliminated": redundant_off - redundant_on,
+        "execution_reduction": round(execution_reduction, 4),
+        "meets_target": meets,
+    }
+
+
+def build_report(benchmark_ids: Sequence[str], timeout_s: float) -> Dict[str, object]:
+    entries = [compare_benchmark(bid, timeout_s) for bid in benchmark_ids]
+    meeting = sum(1 for e in entries if e["meets_target"])
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "benchmarks/bench_cache.py",
+        "timeout_s": timeout_s,
+        "benchmarks": entries,
+        "summary": {
+            "benchmarks_run": len(entries),
+            "benchmarks_meeting_target": meeting,
+            "all_programs_identical": all(e["programs_identical"] for e in entries),
+            "target": ">=2x reduction in redundant spec executions, identical programs",
+        },
+    }
+
+
+def validate_report(report: Dict[str, object]) -> List[str]:
+    """Schema errors in ``report`` (empty when well-formed)."""
+
+    errors: List[str] = []
+    if report.get("schema_version") != SCHEMA_VERSION:
+        errors.append(f"schema_version != {SCHEMA_VERSION}")
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return errors + ["benchmarks must be a non-empty list"]
+    for entry in benchmarks:
+        missing = _ENTRY_KEYS - set(entry)
+        if missing:
+            errors.append(f"{entry.get('id', '?')}: missing keys {sorted(missing)}")
+            continue
+        for section in ("cache_off", "cache_on"):
+            run_missing = _RUN_KEYS - set(entry[section])
+            if run_missing:
+                errors.append(
+                    f"{entry['id']}.{section}: missing keys {sorted(run_missing)}"
+                )
+    summary = report.get("summary")
+    if not isinstance(summary, dict) or "benchmarks_meeting_target" not in summary:
+        errors.append("summary.benchmarks_meeting_target missing")
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=list(DEFAULT_BENCHMARKS),
+        help="registry benchmark ids to compare",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TIMEOUT", 60.0)),
+    )
+    parser.add_argument("--out", help="write the JSON report to this path")
+    parser.add_argument(
+        "--min-benchmarks",
+        type=int,
+        default=3,
+        help="benchmarks that must meet the 2x redundancy-reduction target",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the schema validates and the target is met",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = build_report(args.benchmarks, args.timeout)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    payload = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+
+    if args.check:
+        errors = validate_report(report)
+        for error in errors:
+            print(f"schema error: {error}", file=sys.stderr)
+        meeting = report["summary"]["benchmarks_meeting_target"]
+        identical = report["summary"]["all_programs_identical"]
+        if not identical:
+            print("FAIL: cache changed a synthesized program", file=sys.stderr)
+            return 1
+        if meeting < args.min_benchmarks:
+            print(
+                f"FAIL: only {meeting} benchmarks met the 2x target "
+                f"(need {args.min_benchmarks})",
+                file=sys.stderr,
+            )
+            return 1
+        if errors:
+            return 1
+        print(
+            f"OK: {meeting}/{report['summary']['benchmarks_run']} benchmarks met the "
+            "2x redundancy-reduction target; programs identical",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Lightweight CI gate: tier-1 tests plus the cache-bench smoke.
+#
+#   scripts/ci.sh            # full tier-1 pytest + bench_cache --check
+#   CI_SKIP_TESTS=1 scripts/ci.sh   # bench smoke only
+#
+# The bench smoke synthesizes a fast subset of registry benchmarks with the
+# evaluation cache off and on, writes a JSON report, validates its schema
+# and fails unless >= 3 benchmarks show a >= 2x reduction in redundant spec
+# executions with identical synthesized programs.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [[ "${CI_SKIP_TESTS:-0}" != "1" ]]; then
+    echo "== tier-1 tests =="
+    python -m pytest -x -q
+fi
+
+echo "== cache bench smoke =="
+REPORT="${CI_BENCH_REPORT:-bench_cache_report.json}"
+python benchmarks/bench_cache.py \
+    --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
+    --out "$REPORT" \
+    --min-benchmarks 3 \
+    --check
+
+echo "== ok: report at $REPORT =="

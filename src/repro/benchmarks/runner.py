@@ -27,6 +27,11 @@ class BenchmarkResult:
     lib_methods: int = 0
     program_text: str = ""
     last_result: Optional[SynthesisResult] = None
+    # Evaluation-cache counters summed across runs (see repro.synth.cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_redundant: int = 0
+    cache_evictions: int = 0
 
     @property
     def median_s(self) -> Optional[float]:
@@ -73,6 +78,10 @@ def run_benchmark(
         result.last_result = outcome
         result.timed_out = outcome.timed_out
         result.success = outcome.success
+        result.cache_hits += outcome.stats.cache_hits
+        result.cache_misses += outcome.stats.cache_misses
+        result.cache_redundant += outcome.stats.cache_redundant
+        result.cache_evictions += outcome.stats.cache_evictions
         if not outcome.success:
             break
         result.times_s.append(elapsed)

@@ -4,7 +4,9 @@ For every benchmark the harness reports the columns of the paper's Table 1:
 number of specs, min/max assertions, number of library methods, the median ±
 SIQR synthesis time with full type-and-effect guidance, the median times with
 only type guidance, only effect guidance and neither, and the synthesized
-method's size (AST nodes) and path count.
+method's size (AST nodes) and path count.  A ``cache`` column (hits/misses)
+additionally reports how much work the evaluation memo of
+:mod:`repro.synth.cache` absorbed during the full-guidance run.
 
 The paper uses 11 runs and a 300 s timeout on a 2016 MacBook Pro; the
 defaults here are smaller (3 runs, 30 s timeout) so a full sweep stays cheap,
@@ -49,6 +51,8 @@ class Table1Row:
     meth_size: Optional[int] = None
     syn_paths: Optional[int] = None
     success: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         row: Dict[str, object] = {
@@ -60,6 +64,7 @@ class Table1Row:
             "time": format_time(self.median_s, self.siqr_s, self.success),
             "size": self.meth_size if self.meth_size is not None else "-",
             "paths": self.syn_paths if self.syn_paths is not None else "-",
+            "cache": f"{self.cache_hits}/{self.cache_misses}",
             "paper_time": f"{self.benchmark.paper.time_s:.2f}",
             "paper_size": self.benchmark.paper.meth_size,
             "paper_paths": self.benchmark.paper.syn_paths,
@@ -156,6 +161,8 @@ def run_table1(
         row.siqr_s = result.siqr_s
         row.meth_size = result.meth_size
         row.syn_paths = result.syn_paths
+        row.cache_hits = result.cache_hits
+        row.cache_misses = result.cache_misses
 
         for mode in modes:
             if mode == "full":
@@ -202,7 +209,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     columns = ["id", "name", "specs", "asserts", "lib_meth", "time", "size", "paths",
-               "paper_time", "paper_size", "paper_paths"]
+               "cache", "paper_time", "paper_size", "paper_paths"]
     if args.all_modes:
         columns[6:6] = ["types_only", "effects_only", "unguided"]
     print(format_table([row.as_dict() for row in rows], columns))

@@ -377,12 +377,29 @@ def _iter_holes(
         yield from _iter_holes(child, path + (step,), bindings)
 
 
-def first_hole(node: Node) -> Optional[HoleSite]:
-    """The left-most hole of ``node``, or ``None`` if the node is evaluable."""
+_FIRST_HOLE_MISSING = object()
 
-    for site in iter_holes(node):
-        return site
-    return None
+
+def first_hole(node: Node) -> Optional[HoleSite]:
+    """The left-most hole of ``node``, or ``None`` if the node is evaluable.
+
+    Memoized per (immutable) node like :func:`node_count`: the search
+    consults it on every expansion, and interned candidates share the memo.
+    """
+
+    cached = (
+        node.__dict__.get("_first_hole", _FIRST_HOLE_MISSING)
+        if hasattr(node, "__dict__")
+        else _FIRST_HOLE_MISSING
+    )
+    if cached is not _FIRST_HOLE_MISSING:
+        return cached
+    site: Optional[HoleSite] = None
+    for found in iter_holes(node):
+        site = found
+        break
+    object.__setattr__(node, "_first_hole", site)
+    return site
 
 
 def replace_at(node: Node, path: Path, replacement: Node) -> Node:

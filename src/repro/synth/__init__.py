@@ -17,12 +17,15 @@ The engine mirrors the three components of the paper's algorithm:
 :func:`~repro.synth.synthesizer.synthesize`.
 """
 
+from repro.synth.cache import CacheStats, SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.dsl import define
 from repro.synth.goal import Spec, SpecContext, SynthesisProblem, evaluate_spec
 from repro.synth.synthesizer import SynthesisResult, synthesize
 
 __all__ = [
+    "CacheStats",
+    "SynthCache",
     "SynthConfig",
     "define",
     "Spec",

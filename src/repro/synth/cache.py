@@ -1,0 +1,301 @@
+"""The synthesis performance subsystem: hash-consing and spec-outcome memoization.
+
+Section 4 of the paper observes that once solution reuse kicks in, "the
+bottleneck becomes the number of unique paths, not the number of tests".
+This module realises that observation as two caches shared by one synthesis
+run:
+
+* a :class:`NodeInterner` that hash-conses AST nodes.  All structural
+  metadata (``node_count``, ``has_holes``, ``first_hole`` and the structural
+  hash) is memoized *per instance* in :mod:`repro.lang.ast`; interning makes
+  structurally-equal candidates share one instance, so each metric is
+  computed once per unique shape instead of once per duplicate the
+  enumerator produces.  Each work list interns every pushed candidate into
+  a search-local table (freed when the search returns, like the seed's
+  ``_seen`` sets); only the hit/miss counters are shared run-wide.
+
+* a :class:`SynthCache` memo for spec and guard evaluation, keyed on
+  ``(program, spec, effect_precision)``.  Identical ``(program, spec)``
+  pairs are executed repeatedly across solution reuse
+  (``synthesizer._reuse_solution``), guard search (``generate_guard``'s
+  ``initial_candidates`` loop) and the merge phase's ordering/validation
+  loops; the memo returns the recorded :class:`~repro.synth.goal.SpecOutcome`
+  instead of re-running ``reset() + Interpreter() + setup()``.
+
+Soundness rests on spec evaluation being deterministic: ``evaluate_spec``
+always calls ``problem.reset()`` first, so an outcome depends only on the
+program, the spec and the effect-annotation precision of the class table.
+If external code changes what ``reset`` restores (for example by mutating
+the seed data a reset closure re-applies), the memo must be flushed --
+either via :meth:`SynthCache.invalidate` directly or via
+:meth:`repro.synth.goal.SynthesisProblem.invalidate_caches`, which notifies
+every cache registered against the problem.  Replacing the reset function
+through :meth:`~repro.synth.goal.SynthesisProblem.rebind_reset` invalidates
+automatically.
+
+A *disabled* cache (``SynthConfig(cache_spec_outcomes=False)``) still tracks
+which keys it has seen and counts the lookups that would have hit as
+``redundant`` executions, which is how ``benchmarks/bench_cache.py`` measures
+the redundancy the memo removes without changing the disabled-path behavior.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro.lang import ast as A
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.synth.config import SynthConfig
+    from repro.synth.goal import Spec, SpecOutcome, SynthesisProblem
+
+#: Default bound on memo entries; beyond it the least-recently-used entry
+#: is evicted (counted in :attr:`CacheStats.evictions`).
+DEFAULT_MAX_ENTRIES = 100_000
+
+#: Sentinel stored for keys tracked by a *disabled* cache (key presence is
+#: recorded so redundant executions can be counted, but no outcome is kept).
+_TRACKED = object()
+
+#: Sentinel distinguishing "no entry" from a memoized ``None`` guard value.
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`SynthCache`."""
+
+    spec_hits: int = 0
+    spec_misses: int = 0
+    #: Disabled-cache lookups that *would* have hit: each one is a redundant
+    #: ``reset+setup+run`` execution the enabled cache eliminates.
+    spec_redundant: int = 0
+    guard_hits: int = 0
+    guard_misses: int = 0
+    guard_redundant: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    intern_hits: int = 0
+    intern_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.spec_hits + self.guard_hits
+
+    @property
+    def misses(self) -> int:
+        return self.spec_misses + self.guard_misses
+
+    @property
+    def redundant(self) -> int:
+        return self.spec_redundant + self.guard_redundant
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "spec_hits": self.spec_hits,
+            "spec_misses": self.spec_misses,
+            "spec_redundant": self.spec_redundant,
+            "guard_hits": self.guard_hits,
+            "guard_misses": self.guard_misses,
+            "guard_redundant": self.guard_redundant,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "intern_hits": self.intern_hits,
+            "intern_misses": self.intern_misses,
+        }
+
+    def merge(self, other: "CacheStats") -> None:
+        self.spec_hits += other.spec_hits
+        self.spec_misses += other.spec_misses
+        self.spec_redundant += other.spec_redundant
+        self.guard_hits += other.guard_hits
+        self.guard_misses += other.guard_misses
+        self.guard_redundant += other.guard_redundant
+        self.evictions += other.evictions
+        self.invalidations += other.invalidations
+        self.intern_hits += other.intern_hits
+        self.intern_misses += other.intern_misses
+
+
+class NodeInterner:
+    """Hash-consing table for AST nodes.
+
+    ``intern`` maps every node to a canonical representative; structurally
+    equal nodes share one instance, and therefore share the per-instance
+    ``node_count`` / ``has_holes`` / ``first_hole`` / hash memos of
+    :mod:`repro.lang.ast`.
+    """
+
+    def __init__(self, stats: Optional[CacheStats] = None) -> None:
+        self._table: Dict[A.Node, A.Node] = {}
+        self.stats = stats if stats is not None else CacheStats()
+
+    def intern(self, node: A.Node) -> A.Node:
+        canonical = self._table.get(node)
+        if canonical is not None:
+            self.stats.intern_hits += 1
+            return canonical
+        self.stats.intern_misses += 1
+        self._table[node] = node
+        return node
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+class SynthCache:
+    """Spec/guard evaluation memo plus the node interner of one run.
+
+    One instance is created per :func:`~repro.synth.synthesizer.synthesize`
+    call and threaded through the search, reuse and merge phases, so the
+    memo never outlives the problem state it was recorded against.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        track_redundancy: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.max_entries = max_entries
+        #: When the cache is disabled, key tracking (and its bookkeeping
+        #: cost) is only paid if redundancy counting was asked for; with
+        #: ``track_redundancy=False`` a disabled cache is a true no-op
+        #: baseline apart from incrementing the miss counter.
+        self.track_redundancy = track_redundancy
+        self.stats = CacheStats()
+        self.interner = NodeInterner(self.stats)
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+
+    @staticmethod
+    def from_config(config: "SynthConfig") -> "SynthCache":
+        return SynthCache(
+            enabled=getattr(config, "cache_spec_outcomes", True),
+            max_entries=getattr(config, "spec_cache_max_entries", DEFAULT_MAX_ENTRIES),
+            track_redundancy=getattr(config, "cache_track_redundancy", True),
+        )
+
+    # ------------------------------------------------------------------ interning
+
+    def intern(self, node: A.Node) -> A.Node:
+        return self.interner.intern(node)
+
+    # ------------------------------------------------------------------ keys
+
+    @staticmethod
+    def _key(
+        kind: str, problem: "SynthesisProblem", program: A.Node, spec: "Spec"
+    ) -> Tuple:
+        return (kind, program, spec, problem.class_table.effect_precision)
+
+    # ------------------------------------------------------------------ raw memo
+
+    def _get(self, key: Tuple) -> Any:
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            return _MISSING
+        self._entries.move_to_end(key)
+        return entry
+
+    def _put(self, key: Tuple, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ spec memo
+
+    def lookup_spec(
+        self, problem: "SynthesisProblem", program: A.Node, spec: "Spec"
+    ) -> Optional["SpecOutcome"]:
+        """The memoized outcome of ``(program, spec)``, or ``None`` on a miss.
+
+        On a disabled cache this always returns ``None`` but still counts
+        previously-seen keys as redundant executions.
+        """
+
+        if not self.enabled and not self.track_redundancy:
+            self.stats.spec_misses += 1
+            return None
+        key = self._key("spec", problem, program, spec)
+        entry = self._get(key)
+        if entry is _MISSING:
+            self.stats.spec_misses += 1
+            return None
+        if not self.enabled:
+            self.stats.spec_redundant += 1
+            return None
+        self.stats.spec_hits += 1
+        return entry
+
+    def store_spec(
+        self,
+        problem: "SynthesisProblem",
+        program: A.Node,
+        spec: "Spec",
+        outcome: "SpecOutcome",
+    ) -> None:
+        if not self.enabled and not self.track_redundancy:
+            return
+        key = self._key("spec", problem, program, spec)
+        self._put(key, outcome if self.enabled else _TRACKED)
+
+    # ------------------------------------------------------------------ guard memo
+
+    def lookup_guard(
+        self, problem: "SynthesisProblem", program: A.Node, spec: "Spec"
+    ) -> Any:
+        """The memoized truthiness of a guard program under ``spec``.
+
+        Returns the stored value (``True``/``False``, or ``None`` for a
+        crashing guard) or the module sentinel ``MISSING`` on a miss.
+        """
+
+        if not self.enabled and not self.track_redundancy:
+            self.stats.guard_misses += 1
+            return _MISSING
+        key = self._key("guard", problem, program, spec)
+        entry = self._get(key)
+        if entry is _MISSING:
+            self.stats.guard_misses += 1
+            return _MISSING
+        if not self.enabled:
+            self.stats.guard_redundant += 1
+            return _MISSING
+        self.stats.guard_hits += 1
+        return entry
+
+    def store_guard(
+        self,
+        problem: "SynthesisProblem",
+        program: A.Node,
+        spec: "Spec",
+        truthiness: Optional[bool],
+    ) -> None:
+        if not self.enabled and not self.track_redundancy:
+            return
+        key = self._key("guard", problem, program, spec)
+        self._put(key, truthiness if self.enabled else _TRACKED)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def invalidate(self) -> None:
+        """Drop every memoized outcome (the baseline state changed)."""
+
+        self._entries.clear()
+        self.interner.clear()
+        self.stats.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Re-exported miss sentinel for guard lookups.
+MISSING = _MISSING

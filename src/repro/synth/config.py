@@ -8,6 +8,12 @@ The configuration exposes every knob the paper's evaluation turns:
   levels of Figure 8 (applied to the benchmark's class table);
 * ``timeout_s`` is the per-benchmark timeout (300 s in the paper; the
   benchmark harness defaults to a smaller value so a full sweep stays cheap);
+* ``cache_spec_outcomes`` / ``spec_cache_max_entries`` control the
+  evaluation memo of :mod:`repro.synth.cache`: when enabled (the default),
+  identical ``(program, spec)`` executions across solution reuse, guard
+  search and merge validation are answered from the memo; disabling it
+  restores the execute-every-time behavior while still *counting* the
+  redundant executions, which ``benchmarks/bench_cache.py`` reports;
 * the remaining limits bound the enumerative search and expose the
   optimizations of Section 4 (solution/guard reuse, negated-guard reuse,
   type narrowing, exploration order) for the ablation benchmarks.
@@ -51,6 +57,16 @@ class SynthConfig:
     narrow_types: bool = True
     exploration_order: str = ORDER_PAPER
     chain_effect_reads: bool = False
+
+    # Evaluation caching (repro.synth.cache).  ``cache_spec_outcomes``
+    # memoizes spec/guard outcomes per (program, spec, effect precision);
+    # ``spec_cache_max_entries`` bounds the memo (LRU eviction beyond it).
+    # With the memo disabled, ``cache_track_redundancy`` keeps counting the
+    # re-executions the memo would have removed (used by bench_cache.py);
+    # turn it off too for a bookkeeping-free baseline (the ablation bench).
+    cache_spec_outcomes: bool = True
+    spec_cache_max_entries: int = 100_000
+    cache_track_redundancy: bool = True
 
     # ------------------------------------------------------------------ modes
 
@@ -96,3 +112,5 @@ class SynthConfig:
     def __post_init__(self) -> None:
         if self.exploration_order not in (ORDER_PAPER, ORDER_SIZE, ORDER_FIFO):
             raise ValueError(f"unknown exploration order {self.exploration_order!r}")
+        if self.spec_cache_max_entries <= 0:
+            raise ValueError("spec_cache_max_entries must be positive")

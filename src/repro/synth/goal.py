@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.lang import ast as A
 from repro.lang import types as T
@@ -28,6 +28,10 @@ from repro.interp.errors import AssertionFailure, SynRuntimeError
 from repro.interp.interpreter import Interpreter
 from repro.typesys.class_table import ClassTable
 from repro.typesys.sigparser import parse_method_sig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.synth.cache import SynthCache
+    from repro.synth.search import SearchStats
 
 SetupFn = Callable[["SpecContext"], None]
 PostcondFn = Callable[["SpecContext", Any], None]
@@ -115,6 +119,11 @@ class SynthesisProblem:
     specs: List[Spec] = field(default_factory=list)
     constants: Tuple[Any, ...] = ()
     reset: Callable[[], None] = lambda: None
+    #: Evaluation caches registered against this problem; flushed whenever
+    #: the baseline state ``reset`` restores changes (see ``rebind_reset``).
+    _caches: List["SynthCache"] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
 
     @staticmethod
     def from_signature(
@@ -163,6 +172,38 @@ class SynthesisProblem:
     def library_method_count(self) -> int:
         return len(self.class_table.synthesis_methods())
 
+    # -- cache lifecycle ---------------------------------------------------------
+
+    def register_cache(self, cache: "SynthCache") -> None:
+        """Attach an evaluation cache so baseline changes can flush it."""
+
+        if cache not in self._caches:
+            self._caches.append(cache)
+
+    def unregister_cache(self, cache: "SynthCache") -> None:
+        """Detach a cache (a finished run releases its per-run cache)."""
+
+        if cache in self._caches:
+            self._caches.remove(cache)
+
+    def invalidate_caches(self) -> None:
+        """Flush every registered cache.
+
+        Call this whenever the state ``reset`` restores has changed out of
+        band (for example, after mutating the seed rows a reset closure
+        re-applies): memoized spec outcomes recorded against the old
+        baseline would otherwise go stale.
+        """
+
+        for cache in self._caches:
+            cache.invalidate()
+
+    def rebind_reset(self, reset: Callable[[], None]) -> None:
+        """Replace the reset function and invalidate dependent caches."""
+
+        self.reset = reset
+        self.invalidate_caches()
+
 
 def constant_to_expr(value: Any) -> Tuple[A.Node, T.Type]:
     """Convert a Python-level constant into an AST literal and its type."""
@@ -208,10 +249,23 @@ class SpecOutcome:
 
 
 def evaluate_spec(
-    problem: SynthesisProblem, program: A.MethodDef, spec: Spec
+    problem: SynthesisProblem,
+    program: A.MethodDef,
+    spec: Spec,
+    cache: Optional["SynthCache"] = None,
 ) -> SpecOutcome:
-    """Reset global state, run the spec's setup, then its postcondition."""
+    """Reset global state, run the spec's setup, then its postcondition.
 
+    With a ``cache``, identical ``(program, spec)`` pairs (at the same
+    effect-annotation precision) return the memoized outcome without
+    re-running ``reset``/setup -- the memo of the Section 4 observation
+    that unique paths, not tests, should be the bottleneck.
+    """
+
+    if cache is not None:
+        memoized = cache.lookup_spec(problem, program, spec)
+        if memoized is not None:
+            return memoized
     problem.reset()
     interpreter = Interpreter(problem.class_table)
     ctx = SpecContext(problem, program, interpreter)
@@ -219,47 +273,83 @@ def evaluate_spec(
         spec.setup(ctx)
         result = ctx.result
         spec.postcond(ctx, result)
-        return SpecOutcome(ok=True, passed_asserts=ctx.passed_asserts, value=result)
+        outcome = SpecOutcome(ok=True, passed_asserts=ctx.passed_asserts, value=result)
     except AssertionFailure as failure:
-        return SpecOutcome(
+        outcome = SpecOutcome(
             ok=False, passed_asserts=ctx.passed_asserts, failure=failure
         )
     except SynRuntimeError as error:
-        return SpecOutcome(ok=False, passed_asserts=ctx.passed_asserts, error=error)
+        outcome = SpecOutcome(ok=False, passed_asserts=ctx.passed_asserts, error=error)
     except Exception as error:  # noqa: BLE001 - candidate-induced spec crashes
-        return SpecOutcome(ok=False, passed_asserts=ctx.passed_asserts, error=error)
+        outcome = SpecOutcome(ok=False, passed_asserts=ctx.passed_asserts, error=error)
+    if cache is not None:
+        cache.store_spec(problem, program, spec, outcome)
+    return outcome
 
 
 def evaluate_all_specs(
-    problem: SynthesisProblem, program: A.MethodDef, specs: Optional[Sequence[Spec]] = None
+    problem: SynthesisProblem,
+    program: A.MethodDef,
+    specs: Optional[Sequence[Spec]] = None,
+    cache: Optional["SynthCache"] = None,
+    budget: Optional["Budget"] = None,
+    stats: Optional["SearchStats"] = None,
 ) -> bool:
-    """Whether ``program`` passes every spec (used by merge validation)."""
+    """Whether ``program`` passes every spec (used by merge validation).
+
+    Checks ``budget`` before each spec execution so the merge phase's
+    ordering/validation loops cannot run past the synthesis timeout.
+    """
 
     for spec in specs if specs is not None else problem.specs:
-        if not evaluate_spec(problem, program, spec).ok:
+        if budget is not None and budget.expired():
+            if stats is not None:
+                stats.timed_out = True
+            raise SynthesisTimeout(
+                f"timeout while validating {program.name!r} against specs"
+            )
+        if not evaluate_spec(problem, program, spec, cache=cache).ok:
             return False
     return True
 
 
 def evaluate_guard(
-    problem: SynthesisProblem, guard: A.Node, spec: Spec, expect: bool
+    problem: SynthesisProblem,
+    guard: A.Node,
+    spec: Spec,
+    expect: bool,
+    cache: Optional["SynthCache"] = None,
 ) -> bool:
     """Whether ``guard`` (as the whole method body) evaluates to ``expect``.
 
     This is the check of Section 3.3: under the setup of the spec, a method
     whose body is the guard must return a truthy (``expect=True``) or falsy
     (``expect=False``) value.  Runtime errors simply reject the guard.
+
+    The memo stores the guard's truthiness under the spec (``None`` for a
+    crashing guard) independent of ``expect``, so one execution answers
+    both the positive and the negated question.
     """
 
-    problem.reset()
     program = problem.make_program(guard)
+    if cache is not None:
+        from repro.synth.cache import MISSING
+
+        memoized = cache.lookup_guard(problem, program, spec)
+        if memoized is not MISSING:
+            return memoized is not None and memoized == expect
+    problem.reset()
     interpreter = Interpreter(problem.class_table)
     ctx = SpecContext(problem, program, interpreter)
+    truthiness: Optional[bool]
     try:
         spec.setup(ctx)
+        truthiness = truthy(ctx.result)
     except Exception:  # noqa: BLE001 - a crashing guard is simply rejected
-        return False
-    return truthy(ctx.result) == expect
+        truthiness = None
+    if cache is not None:
+        cache.store_guard(problem, program, spec, truthiness)
+    return truthiness is not None and truthiness == expect
 
 
 # ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.lang import ast as A
+from repro.synth.cache import SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.goal import (
     Budget,
@@ -62,11 +63,16 @@ class Merger:
         config: SynthConfig,
         budget: Optional[Budget] = None,
         stats: Optional[SearchStats] = None,
+        cache: Optional[SynthCache] = None,
     ) -> None:
         self.problem = problem
         self.config = config
         self.budget = budget or Budget(config.timeout_s)
         self.stats = stats if stats is not None else SearchStats()
+        #: Evaluation memo shared with the per-spec searches; the merge
+        #: phase's ordering/validation loops re-run many identical
+        #: (program, spec) pairs, which the memo answers without executing.
+        self.cache = cache if cache is not None else SynthCache.from_config(config)
         self.encoder = GuardEncoder()
         #: Guards synthesized so far, reused across tuples (Section 4).
         self.known_guards: List[A.Node] = []
@@ -103,6 +109,7 @@ class Merger:
             budget=self.budget,
             stats=self.stats,
             initial_candidates=self.guard_candidates(),
+            cache=self.cache,
         )
         if guard is not None:
             self.remember_guard(guard)
@@ -177,10 +184,10 @@ class Merger:
         second_guard: Optional[A.Node] = None
         negated = negate(first_guard)
         if all(
-            _guard_holds(self.problem, negated, spec, expect=True)
+            _guard_holds(self.problem, negated, spec, expect=True, cache=self.cache)
             for spec in second.specs
         ) and all(
-            _guard_holds(self.problem, negated, spec, expect=False)
+            _guard_holds(self.problem, negated, spec, expect=False, cache=self.cache)
             for spec in first.specs
         ):
             second_guard = negated
@@ -256,7 +263,7 @@ class Merger:
         for ordering in orderings:
             chain = self.rewrite_chain(list(ordering))
             for program in self.build_programs(chain):
-                if evaluate_all_specs(self.problem, program):
+                if self._passes_all_specs(program):
                     valid.append(program)
             if valid:
                 break
@@ -268,12 +275,23 @@ class Merger:
             if strengthened is not None:
                 chain = self.rewrite_chain(strengthened)
                 for program in self.build_programs(chain):
-                    if evaluate_all_specs(self.problem, program):
+                    if self._passes_all_specs(program):
                         valid.append(program)
 
         if not valid:
             return None
         return min(valid, key=A.node_count)
+
+    def _passes_all_specs(self, program: A.MethodDef) -> bool:
+        """Budget-checked, memoized validation of one candidate program."""
+
+        return evaluate_all_specs(
+            self.problem,
+            program,
+            cache=self.cache,
+            budget=self.budget,
+            stats=self.stats,
+        )
 
     def _strengthen_all(
         self, solutions: List[SpecSolution]
@@ -307,11 +325,15 @@ def _disjoin(left: A.Node, right: A.Node) -> A.Node:
 
 
 def _guard_holds(
-    problem: SynthesisProblem, guard: A.Node, spec: Spec, expect: bool
+    problem: SynthesisProblem,
+    guard: A.Node,
+    spec: Spec,
+    expect: bool,
+    cache: Optional[SynthCache] = None,
 ) -> bool:
     from repro.synth.goal import evaluate_guard
 
-    return evaluate_guard(problem, guard, spec, expect)
+    return evaluate_guard(problem, guard, spec, expect, cache=cache)
 
 
 def _orderings(solutions: List[SpecSolution]) -> List[Tuple[SpecSolution, ...]]:

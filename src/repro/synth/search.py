@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.lang import ast as A
 from repro.lang import types as T
+from repro.synth.cache import NodeInterner, SynthCache
 from repro.synth.config import ORDER_FIFO, ORDER_PAPER, ORDER_SIZE, SynthConfig
 from repro.synth.effect_guided import expand_effect_hole, insert_effect_hole
 from repro.synth.enumerate import expand_typed_hole
@@ -45,6 +46,13 @@ class SearchStats:
     effect_wraps: int = 0
     pruned_size: int = 0
     timed_out: bool = False
+    # Evaluation-cache counters (filled from the run's SynthCache; spec and
+    # guard memo lookups combined).  ``cache_redundant`` counts the
+    # re-executions a disabled cache observed -- the work the memo removes.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_redundant: int = 0
+    cache_evictions: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         self.expansions += other.expansions
@@ -53,18 +61,25 @@ class SearchStats:
         self.effect_wraps += other.effect_wraps
         self.pruned_size += other.pruned_size
         self.timed_out = self.timed_out or other.timed_out
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_redundant += other.cache_redundant
+        self.cache_evictions += other.cache_evictions
 
 
 class _WorkList:
     """A priority queue of ``(passed_asserts, expression)`` entries."""
 
-    def __init__(self, order: str) -> None:
+    def __init__(self, order: str, interner: Optional[NodeInterner] = None) -> None:
         self.order = order
         self._heap: List[Tuple[Tuple, int, int, A.Node]] = []
         self._counter = itertools.count()
         self._seen: set[A.Node] = set()
+        self._interner = interner
 
     def push(self, expr: A.Node, passed: int) -> bool:
+        if self._interner is not None:
+            expr = self._interner.intern(expr)
         if expr in self._seen:
             return False
         self._seen.add(expr)
@@ -96,7 +111,11 @@ def _expand(
     problem: SynthesisProblem,
     config: SynthConfig,
 ) -> List[A.Node]:
-    """One-step expansion of the left-most hole of ``expr``."""
+    """One-step expansion of the left-most hole of ``expr``.
+
+    ``first_hole`` is memoized on the (interned) node, so repeated pops of
+    structurally equal expressions do not re-walk the tree.
+    """
 
     site = A.first_hole(expr)
     if site is None:
@@ -113,6 +132,7 @@ def generate_for_spec(
     budget: Optional[Budget] = None,
     stats: Optional[SearchStats] = None,
     root: Optional[A.Node] = None,
+    cache: Optional[SynthCache] = None,
 ) -> Optional[A.Node]:
     """Search for an expression that makes ``spec`` pass (Algorithm 2).
 
@@ -123,7 +143,12 @@ def generate_for_spec(
 
     budget = budget or Budget(config.timeout_s)
     stats = stats if stats is not None else SearchStats()
-    worklist = _WorkList(config.exploration_order)
+    cache = cache if cache is not None else SynthCache.from_config(config)
+    # The interner is per-search so its table (like the seed's _seen set) is
+    # freed when the search returns; only the counters are run-wide.
+    worklist = _WorkList(
+        config.exploration_order, interner=NodeInterner(cache.stats)
+    )
     worklist.push(root if root is not None else A.TypedHole(problem.ret_type), 0)
 
     while worklist:
@@ -148,18 +173,22 @@ def generate_for_spec(
                 continue
 
             stats.evaluated += 1
-            outcome = evaluate_spec(problem, problem.make_program(candidate), spec)
+            outcome = evaluate_spec(
+                problem, problem.make_program(candidate), spec, cache=cache
+            )
             if outcome.ok:
                 return candidate
-            if (
-                config.use_effects
-                and outcome.has_effect_error
-                and A.node_count(candidate) < config.max_size
-            ):
+            if config.use_effects and outcome.has_effect_error:
                 wrapped = insert_effect_hole(
                     candidate, outcome.failure.read_effect, problem
                 )
-                if worklist.push(wrapped, outcome.passed_asserts):
+                # The S-Eff wrap adds nodes (a let, a seq and two holes), so
+                # the size bound must hold for the *wrapped* candidate --
+                # checking the bare candidate would let oversized programs
+                # enter the work list unpruned.
+                if A.node_count(wrapped) > config.max_size:
+                    stats.pruned_size += 1
+                elif worklist.push(wrapped, outcome.passed_asserts):
                     stats.effect_wraps += 1
     return None
 
@@ -172,6 +201,7 @@ def generate_guard(
     budget: Optional[Budget] = None,
     stats: Optional[SearchStats] = None,
     initial_candidates: Sequence[A.Node] = (),
+    cache: Optional[SynthCache] = None,
 ) -> Optional[A.Node]:
     """Synthesize a branch condition (Section 3.3).
 
@@ -183,14 +213,15 @@ def generate_guard(
 
     budget = budget or Budget(config.timeout_s)
     stats = stats if stats is not None else SearchStats()
+    cache = cache if cache is not None else SynthCache.from_config(config)
 
     def accepted(guard: A.Node) -> bool:
         stats.evaluated += 1
         for spec in positive_specs:
-            if not evaluate_guard(problem, guard, spec, expect=True):
+            if not evaluate_guard(problem, guard, spec, expect=True, cache=cache):
                 return False
         for spec in negative_specs:
-            if not evaluate_guard(problem, guard, spec, expect=False):
+            if not evaluate_guard(problem, guard, spec, expect=False, cache=cache):
                 return False
         return True
 
@@ -201,7 +232,9 @@ def generate_guard(
         if accepted(guard):
             return guard
 
-    worklist = _WorkList(config.exploration_order)
+    worklist = _WorkList(
+        config.exploration_order, interner=NodeInterner(cache.stats)
+    )
     worklist.push(A.TypedHole(T.BOOL), 0)
 
     while worklist:
@@ -214,6 +247,13 @@ def generate_guard(
         _, expr = worklist.pop()
         stats.expansions += 1
         for candidate in _expand(expr, problem, config):
+            # One expansion can yield many hole-free candidates, each of
+            # which runs every positive and negative spec; without this
+            # per-candidate guard (mirroring generate_for_spec) a single
+            # expansion could evaluate far past the timeout.
+            if budget.expired():
+                stats.timed_out = True
+                raise SynthesisTimeout("timeout while synthesizing a guard")
             if A.has_holes(candidate):
                 if A.node_count(candidate) <= config.guard_max_size:
                     if worklist.push(candidate, 0):

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.lang import ast as A
+from repro.synth.cache import CacheStats, SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.goal import (
     Budget,
@@ -41,6 +42,9 @@ class SynthesisResult:
     elapsed_s: float = 0.0
     timed_out: bool = False
     stats: SearchStats = field(default_factory=SearchStats)
+    #: Full counters of the run's evaluation cache (hits/misses/evictions,
+    #: plus the redundant executions a disabled cache merely observed).
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def method_size(self) -> Optional[int]:
@@ -76,48 +80,77 @@ def synthesize(
         problem = _with_precision(problem, config.effect_precision)
     budget = Budget(config.timeout_s)
     stats = SearchStats()
+    cache = SynthCache.from_config(config)
+    problem.register_cache(cache)
     solutions: List[SpecSolution] = []
 
     try:
         for spec in problem.specs:
-            if _reuse_solution(problem, spec, solutions, config):
+            if _reuse_solution(problem, spec, solutions, config, budget, stats, cache):
                 continue
-            expr = generate_for_spec(problem, spec, config, budget=budget, stats=stats)
+            expr = generate_for_spec(
+                problem, spec, config, budget=budget, stats=stats, cache=cache
+            )
             if expr is None:
-                return SynthesisResult(
-                    problem,
-                    success=False,
-                    solutions=solutions,
-                    elapsed_s=budget.elapsed(),
-                    stats=stats,
+                return _finish(
+                    SynthesisResult(
+                        problem,
+                        success=False,
+                        solutions=solutions,
+                        elapsed_s=budget.elapsed(),
+                        stats=stats,
+                    ),
+                    cache,
                 )
             simplified = simplify(expr)
             if not evaluate_spec(
-                problem, problem.make_program(simplified), spec
+                problem, problem.make_program(simplified), spec, cache=cache
             ).ok:
                 simplified = expr
             solutions.append(SpecSolution(expr=simplified, specs=(spec,)))
 
-        merger = Merger(problem, config, budget=budget, stats=stats)
+        merger = Merger(problem, config, budget=budget, stats=stats, cache=cache)
         program = merger.merge(solutions)
     except SynthesisTimeout:
-        return SynthesisResult(
-            problem,
-            success=False,
-            solutions=solutions,
-            elapsed_s=budget.elapsed(),
-            timed_out=True,
-            stats=stats,
+        return _finish(
+            SynthesisResult(
+                problem,
+                success=False,
+                solutions=solutions,
+                elapsed_s=budget.elapsed(),
+                timed_out=True,
+                stats=stats,
+            ),
+            cache,
         )
 
-    return SynthesisResult(
-        problem,
-        success=program is not None,
-        program=program,
-        solutions=solutions,
-        elapsed_s=budget.elapsed(),
-        stats=stats,
+    return _finish(
+        SynthesisResult(
+            problem,
+            success=program is not None,
+            program=program,
+            solutions=solutions,
+            elapsed_s=budget.elapsed(),
+            stats=stats,
+        ),
+        cache,
     )
+
+
+def _finish(result: SynthesisResult, cache: SynthCache) -> SynthesisResult:
+    """Fold the run's cache counters into the result and release the cache.
+
+    Unregistering keeps repeated ``synthesize`` calls on one long-lived
+    problem from accumulating dead per-run caches on it.
+    """
+
+    result.problem.unregister_cache(cache)
+    result.cache_stats = cache.stats
+    result.stats.cache_hits = cache.stats.hits
+    result.stats.cache_misses = cache.stats.misses
+    result.stats.cache_redundant = cache.stats.redundant
+    result.stats.cache_evictions = cache.stats.evictions
+    return result
 
 
 def _reuse_solution(
@@ -125,13 +158,28 @@ def _reuse_solution(
     spec,
     solutions: List[SpecSolution],
     config: SynthConfig,
+    budget: Budget,
+    stats: SearchStats,
+    cache: Optional[SynthCache] = None,
 ) -> bool:
-    """Try expressions that solved earlier specs before searching from scratch."""
+    """Try expressions that solved earlier specs before searching from scratch.
+
+    Each trial executes the spec, so the budget is checked before every
+    evaluation -- otherwise a goal with many solved specs could run far
+    past ``timeout_s`` without ever raising :class:`SynthesisTimeout`.
+    """
 
     if not config.reuse_solutions:
         return False
     for i, solution in enumerate(solutions):
-        outcome = evaluate_spec(problem, problem.make_program(solution.expr), spec)
+        if budget.expired():
+            stats.timed_out = True
+            raise SynthesisTimeout(
+                f"timeout while reusing solutions for {spec.name!r}"
+            )
+        outcome = evaluate_spec(
+            problem, problem.make_program(solution.expr), spec, cache=cache
+        )
         if outcome.ok:
             solutions[i] = solution.covering(spec)
             return True
