@@ -9,7 +9,10 @@ of representative benchmarks:
 * type narrowing during hole filling;
 * spec-outcome memoization (the ``no_cache`` variant disables the
   evaluation cache of :mod:`repro.synth.cache`; cache counters are
-  recorded in ``extra_info`` for every variant).
+  recorded in ``extra_info`` for every variant);
+* copy-on-write state snapshots (the ``no_snapshot`` variant disables the
+  snapshot manager of :mod:`repro.synth.state`, replaying the reset
+  closure and seed inserts on every candidate evaluation).
 """
 
 from __future__ import annotations
@@ -32,6 +35,8 @@ VARIANTS = {
     "no_narrowing": {"narrow_types": False},
     # A true cache-free baseline: no memo and no key bookkeeping either.
     "no_cache": {"cache_spec_outcomes": False, "cache_track_redundancy": False},
+    # Reset-every-time baseline: no database snapshot/restore.
+    "no_snapshot": {"snapshot_state": False},
 }
 
 
@@ -51,3 +56,6 @@ def test_ablation(benchmark, benchmark_id, variant):
     benchmark.extra_info["cache_hits"] = result.cache_hits
     benchmark.extra_info["cache_misses"] = result.cache_misses
     benchmark.extra_info["cache_redundant"] = result.cache_redundant
+    benchmark.extra_info["state_restores"] = result.state_restores
+    benchmark.extra_info["state_rebuilds"] = result.state_rebuilds
+    benchmark.extra_info["reset_replays"] = result.reset_replays

@@ -19,6 +19,8 @@ the cache enabled -- and emits a JSON report comparing the two runs:
 The acceptance target (checked by ``--check``, used by ``scripts/ci.sh``)
 is a >= 2x reduction in redundant spec executions on at least
 ``--min-benchmarks`` benchmarks, with identical programs everywhere.
+The report/CLI plumbing shared with ``bench_state.py`` lives in
+:mod:`ab_harness`.
 
 Usage::
 
@@ -28,16 +30,17 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for _path in (_SRC, _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
 
+from ab_harness import ABHarness, SCHEMA_VERSION  # noqa: E402,F401
 from repro.benchmarks import get_benchmark, run_benchmark  # noqa: E402
 from repro.synth.config import SynthConfig  # noqa: E402
 
@@ -45,20 +48,10 @@ from repro.synth.config import SynthConfig  # noqa: E402
 #: redundancy, cheap enough for a CI smoke run.
 DEFAULT_BENCHMARKS = ("S1", "S4", "S5", "S7")
 
-SCHEMA_VERSION = 1
-
 #: Required keys per section, checked by validate_report (and CI).
-_RUN_KEYS = {"success", "elapsed_s", "executions", "redundant_executions", "cache_hits"}
-_ENTRY_KEYS = {
-    "id",
-    "cache_off",
-    "cache_on",
-    "programs_identical",
-    "program",
-    "redundant_executions_eliminated",
-    "execution_reduction",
-    "meets_target",
-}
+_RUN_KEYS = frozenset(
+    {"success", "elapsed_s", "executions", "redundant_executions", "cache_hits"}
+)
 
 
 def _run(benchmark_id: str, timeout_s: float, cached: bool) -> Dict[str, object]:
@@ -79,22 +72,12 @@ def _run(benchmark_id: str, timeout_s: float, cached: bool) -> Dict[str, object]
     }
 
 
-def compare_benchmark(benchmark_id: str, timeout_s: float) -> Dict[str, object]:
-    """Run one benchmark cache-off then cache-on and diff the counters."""
-
-    off = _run(benchmark_id, timeout_s, cached=False)
-    on = _run(benchmark_id, timeout_s, cached=True)
-    program_off = off.pop("_program")
-    text_off = off.pop("_text")
-    program_on = on.pop("_program")
-    on.pop("_text")
-
-    identical = program_off == program_on
+def _diff(
+    off: Dict[str, object], on: Dict[str, object], identical: bool
+) -> Dict[str, object]:
     redundant_off = int(off["redundant_executions"])
     redundant_on = int(on["redundant_executions"])  # 0 by construction: hits don't execute
-    execution_reduction = (
-        int(off["executions"]) / max(int(on["executions"]), 1)
-    )
+    execution_reduction = int(off["executions"]) / max(int(on["executions"]), 1)
     # The ">=2x reduction in redundant executions" target: the enabled cache
     # must execute at most half the redundant pairs the disabled run did
     # (in practice it executes none of them, reported as cache hits), there
@@ -108,123 +91,41 @@ def compare_benchmark(benchmark_id: str, timeout_s: float) -> Dict[str, object]:
         and int(on["cache_hits"]) > 0
     )
     return {
-        "id": benchmark_id,
-        "cache_off": off,
-        "cache_on": on,
-        "programs_identical": identical,
-        "program": text_off,
         "redundant_executions_eliminated": redundant_off - redundant_on,
         "execution_reduction": round(execution_reduction, 4),
         "meets_target": meets,
     }
 
 
+HARNESS = ABHarness(
+    generated_by="benchmarks/bench_cache.py",
+    section_prefix="cache",
+    target=">=2x reduction in redundant spec executions, identical programs",
+    run_keys=_RUN_KEYS,
+    extra_entry_keys=frozenset(
+        {"redundant_executions_eliminated", "execution_reduction"}
+    ),
+    run=_run,
+    diff=_diff,
+    fail_identical="cache changed a synthesized program",
+    ok_noun="2x redundancy-reduction target",
+)
+
+
+def compare_benchmark(benchmark_id: str, timeout_s: float) -> Dict[str, object]:
+    return HARNESS.compare_benchmark(benchmark_id, timeout_s)
+
+
 def build_report(benchmark_ids: Sequence[str], timeout_s: float) -> Dict[str, object]:
-    entries = [compare_benchmark(bid, timeout_s) for bid in benchmark_ids]
-    meeting = sum(1 for e in entries if e["meets_target"])
-    return {
-        "schema_version": SCHEMA_VERSION,
-        "generated_by": "benchmarks/bench_cache.py",
-        "timeout_s": timeout_s,
-        "benchmarks": entries,
-        "summary": {
-            "benchmarks_run": len(entries),
-            "benchmarks_meeting_target": meeting,
-            "all_programs_identical": all(e["programs_identical"] for e in entries),
-            "target": ">=2x reduction in redundant spec executions, identical programs",
-        },
-    }
+    return HARNESS.build_report(benchmark_ids, timeout_s)
 
 
 def validate_report(report: Dict[str, object]) -> List[str]:
-    """Schema errors in ``report`` (empty when well-formed)."""
-
-    errors: List[str] = []
-    if report.get("schema_version") != SCHEMA_VERSION:
-        errors.append(f"schema_version != {SCHEMA_VERSION}")
-    benchmarks = report.get("benchmarks")
-    if not isinstance(benchmarks, list) or not benchmarks:
-        return errors + ["benchmarks must be a non-empty list"]
-    for entry in benchmarks:
-        missing = _ENTRY_KEYS - set(entry)
-        if missing:
-            errors.append(f"{entry.get('id', '?')}: missing keys {sorted(missing)}")
-            continue
-        for section in ("cache_off", "cache_on"):
-            run_missing = _RUN_KEYS - set(entry[section])
-            if run_missing:
-                errors.append(
-                    f"{entry['id']}.{section}: missing keys {sorted(run_missing)}"
-                )
-    summary = report.get("summary")
-    if not isinstance(summary, dict) or "benchmarks_meeting_target" not in summary:
-        errors.append("summary.benchmarks_meeting_target missing")
-    return errors
+    return HARNESS.validate_report(report)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--benchmarks",
-        nargs="*",
-        default=list(DEFAULT_BENCHMARKS),
-        help="registry benchmark ids to compare",
-    )
-    parser.add_argument(
-        "--timeout",
-        type=float,
-        default=float(os.environ.get("REPRO_BENCH_TIMEOUT", 60.0)),
-    )
-    parser.add_argument("--out", help="write the JSON report to this path")
-    parser.add_argument(
-        "--min-benchmarks",
-        type=int,
-        default=3,
-        help="benchmarks that must meet the 2x redundancy-reduction target",
-    )
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="exit non-zero unless the schema validates and the target is met",
-    )
-    args = parser.parse_args(argv)
-
-    try:
-        report = build_report(args.benchmarks, args.timeout)
-    except KeyError as error:
-        print(f"error: {error.args[0]}", file=sys.stderr)
-        return 2
-    payload = json.dumps(report, indent=2)
-    if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(payload + "\n")
-    else:
-        print(payload)
-
-    if args.check:
-        errors = validate_report(report)
-        for error in errors:
-            print(f"schema error: {error}", file=sys.stderr)
-        meeting = report["summary"]["benchmarks_meeting_target"]
-        identical = report["summary"]["all_programs_identical"]
-        if not identical:
-            print("FAIL: cache changed a synthesized program", file=sys.stderr)
-            return 1
-        if meeting < args.min_benchmarks:
-            print(
-                f"FAIL: only {meeting} benchmarks met the 2x target "
-                f"(need {args.min_benchmarks})",
-                file=sys.stderr,
-            )
-            return 1
-        if errors:
-            return 1
-        print(
-            f"OK: {meeting}/{report['summary']['benchmarks_run']} benchmarks met the "
-            "2x redundancy-reduction target; programs identical",
-            file=sys.stderr,
-        )
-    return 0
+    return HARNESS.main(argv, __doc__, DEFAULT_BENCHMARKS)
 
 
 if __name__ == "__main__":

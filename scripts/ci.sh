@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
-# Lightweight CI gate: tier-1 tests plus the cache-bench smoke.
+# Lightweight CI gate: tier-1 tests plus the cache- and state-bench smokes.
 #
-#   scripts/ci.sh            # full tier-1 pytest + bench_cache --check
-#   CI_SKIP_TESTS=1 scripts/ci.sh   # bench smoke only
+#   scripts/ci.sh            # tier-1 pytest + bench_cache/bench_state --check
+#   CI_SKIP_TESTS=1 scripts/ci.sh   # bench smokes only
 #
-# The bench smoke synthesizes a fast subset of registry benchmarks with the
-# evaluation cache off and on, writes a JSON report, validates its schema
-# and fails unless >= 3 benchmarks show a >= 2x reduction in redundant spec
-# executions with identical synthesized programs.
+# Each bench smoke synthesizes a fast subset of registry benchmarks with one
+# subsystem off and on, writes a JSON report, validates its schema and fails
+# unless >= 3 benchmarks meet the subsystem's >= 2x reduction target
+# (redundant spec executions for the cache, reset-closure replays for the
+# state snapshots) with identical synthesized programs.
 
 set -euo pipefail
 
@@ -27,4 +28,12 @@ python benchmarks/bench_cache.py \
     --min-benchmarks 3 \
     --check
 
-echo "== ok: report at $REPORT =="
+echo "== state bench smoke =="
+STATE_REPORT="${CI_STATE_REPORT:-bench_state_report.json}"
+python benchmarks/bench_state.py \
+    --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
+    --out "$STATE_REPORT" \
+    --min-benchmarks 3 \
+    --check
+
+echo "== ok: reports at $REPORT and $STATE_REPORT =="

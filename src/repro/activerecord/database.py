@@ -5,11 +5,46 @@ auto-assigned integer ``id``.  The database exposes exactly the operations
 the ORM layer needs (insert/select/update/delete/count) plus ``reset``, the
 hook RbSyn uses to give every candidate program a clean slate (Section 4,
 "optional hooks for resetting the global state").
+
+State isolation guarantees:
+
+* Rows handed across the table boundary (``insert``/``get``/``all``/
+  ``select`` return values, ``insert``/``update`` arguments) are copied,
+  including nested mutable values, so a candidate program can never mutate
+  stored state through a stale reference.
+* ``snapshot()``/``restore()`` are an exact round-trip of the whole database
+  state -- every table's rows *and* ``next_id`` plus the globals -- which is
+  what :mod:`repro.synth.state` builds its copy-on-write spec-evaluation
+  snapshots on.  ``restore`` swaps each table's row mapping for the
+  snapshot's by reference; the shared row dicts are protected by a
+  copy-on-write set (``Table._shared``), so restoring is O(rows) pointer
+  copies and only rows that are subsequently updated pay for a real copy.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+import copy
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+#: Values that need no copying when rows cross the table boundary.  Rows made
+#: only of these (the overwhelmingly common case) are copied with a plain
+#: ``dict`` copy; anything else falls back to ``copy.deepcopy``.
+_ATOMIC = (bool, int, float, str, bytes, type(None))
+
+
+def _copy_value(value: Any) -> Any:
+    if isinstance(value, _ATOMIC):
+        return value
+    return copy.deepcopy(value)
+
+
+def _copy_row(row: Dict[str, Any]) -> Dict[str, Any]:
+    """An independent copy of ``row``, deep-copying nested mutable values."""
+
+    for value in row.values():
+        if not isinstance(value, _ATOMIC):
+            return {key: _copy_value(value) for key, value in row.items()}
+    return dict(row)
 
 
 class Table:
@@ -19,37 +54,80 @@ class Table:
         self.name = name
         self.rows: Dict[int, Dict[str, Any]] = {}
         self.next_id = 1
+        #: Row ids whose dicts are shared with a snapshot (see ``adopt``);
+        #: ``update`` un-shares them copy-on-write before mutating.
+        self._shared: Set[int] = set()
 
     def insert(self, values: Dict[str, Any]) -> Dict[str, Any]:
-        row = dict(values)
+        row = _copy_row(values)
         row["id"] = self.next_id
         self.rows[self.next_id] = row
         self.next_id += 1
-        return dict(row)
+        return _copy_row(row)
 
     def get(self, row_id: int) -> Optional[Dict[str, Any]]:
         row = self.rows.get(row_id)
-        return dict(row) if row is not None else None
+        return _copy_row(row) if row is not None else None
 
     def update(self, row_id: int, values: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Merge ``values`` into the row stored under ``row_id``.
+
+        Any ``id`` key in ``values`` is stripped: a row's id is its storage
+        key, and letting an update overwrite the field would make the stored
+        dict diverge from its key in ``rows`` (subsequent ``get``/``delete``
+        by the new id would miss).
+        """
+
         row = self.rows.get(row_id)
         if row is None:
             return None
-        row.update(values)
-        return dict(row)
+        if row_id in self._shared:
+            # Copy-on-write: the dict is shared with a snapshot; replace it
+            # with a private copy before mutating.
+            row = dict(row)
+            self.rows[row_id] = row
+            self._shared.discard(row_id)
+        row.update(
+            {key: _copy_value(value) for key, value in values.items() if key != "id"}
+        )
+        return _copy_row(row)
 
     def delete(self, row_id: int) -> bool:
+        self._shared.discard(row_id)
         return self.rows.pop(row_id, None) is not None
 
     def all(self) -> List[Dict[str, Any]]:
-        return [dict(row) for row in self.rows.values()]
+        return [_copy_row(row) for row in self.rows.values()]
 
     def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> List[Dict[str, Any]]:
-        return [dict(row) for row in self.rows.values() if predicate(row)]
+        return [_copy_row(row) for row in self.rows.values() if predicate(row)]
 
     def clear(self) -> None:
         self.rows.clear()
         self.next_id = 1
+        self._shared.clear()
+
+    # -- snapshot support -------------------------------------------------------
+
+    def dump(self) -> Dict[str, Any]:
+        """This table's state as an independent ``{"rows", "next_id"}`` dict."""
+
+        return {
+            "rows": {row_id: _copy_row(row) for row_id, row in self.rows.items()},
+            "next_id": self.next_id,
+        }
+
+    def adopt(self, rows: Dict[int, Dict[str, Any]], next_id: int) -> None:
+        """Install snapshot state, sharing the row dicts copy-on-write.
+
+        The row *mapping* is copied (inserts/deletes never touch the
+        snapshot) but the row dicts themselves are shared and marked in
+        ``_shared`` so ``update`` copies them before mutating.
+        """
+
+        self.rows = dict(rows)
+        self.next_id = next_id
+        self._shared = set(rows)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -135,14 +213,40 @@ class Database:
         self._globals.clear()
 
     def snapshot(self) -> Dict[str, Any]:
-        """A deep-ish copy of the database state, used by tests."""
+        """An exact, independent copy of the database state.
+
+        Covers every table's rows *and* ``next_id`` (so a restore never
+        reuses ids handed out before a delete) plus the globals;
+        ``restore`` makes the pair an exact round-trip.  Pristine tables
+        (no rows, no ids ever assigned) are omitted so snapshots compare
+        equal across auto-created-but-unused tables.
+        """
 
         return {
             "tables": {
-                name: [dict(row) for row in table.all()]
+                name: table.dump()
                 for name, table in self._tables.items()
+                if table.rows or table.next_id != 1
             },
-            "globals": dict(self._globals),
+            "globals": {key: _copy_value(value) for key, value in self._globals.items()},
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Restore a ``snapshot()`` by cheap copy-on-write table swaps.
+
+        Tables created after the snapshot was captured are cleared, mirroring
+        what re-running ``reset`` plus the seed closure would leave behind.
+        The snapshot stays valid across any number of restores.
+        """
+
+        saved = snap["tables"]
+        for name, table in self._tables.items():
+            if name not in saved:
+                table.clear()
+        for name, entry in saved.items():
+            self.table(name).adopt(entry["rows"], entry["next_id"])
+        self._globals = {
+            key: _copy_value(value) for key, value in snap["globals"].items()
         }
 
     def total_rows(self) -> int:

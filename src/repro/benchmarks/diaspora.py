@@ -43,6 +43,7 @@ def build_a9() -> SynthesisProblem:
         consts=BASE_CONSTANTS + ("offline", "unchecked", Pod),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup_offline(ctx):
@@ -109,6 +110,7 @@ def build_a10() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (User, InvitationCode),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup(ctx):
@@ -163,6 +165,7 @@ def build_a11() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (InvitationCode,),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup(ctx):
@@ -206,6 +209,7 @@ def build_a12() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (None, User),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def make_user(token, unconfirmed="new@pod.example.org"):

@@ -43,6 +43,7 @@ def build_a1() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (User, SiteSetting),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup_admin(ctx):
@@ -109,6 +110,7 @@ def build_a2() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (User, EmailToken),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup_with_token(ctx):
@@ -176,6 +178,7 @@ def build_a3() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (None, User),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup_staged(ctx):
@@ -263,6 +266,7 @@ def build_a4() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (User, SiteSetting),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def make_configured_setup(username):

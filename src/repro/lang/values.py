@@ -37,6 +37,17 @@ class Symbol:
     def __setattr__(self, key: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("Symbol instances are immutable")
 
+    # Interning means copies must be the *same* object; without these,
+    # ``copy.deepcopy`` would call ``__new__`` without the name argument.
+    def __copy__(self) -> "Symbol":
+        return self
+
+    def __deepcopy__(self, memo: Dict[int, Any]) -> "Symbol":
+        return self
+
+    def __reduce__(self):
+        return (Symbol, (self.name,))
+
     def __repr__(self) -> str:
         return f":{self.name}"
 

@@ -21,6 +21,7 @@ from repro.synth.cache import CacheStats, SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.dsl import define
 from repro.synth.goal import Spec, SpecContext, SynthesisProblem, evaluate_spec
+from repro.synth.state import StateManager, StateStats
 from repro.synth.synthesizer import SynthesisResult, synthesize
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "SpecContext",
     "SynthesisProblem",
     "evaluate_spec",
+    "StateManager",
+    "StateStats",
     "SynthesisResult",
     "synthesize",
 ]

@@ -106,6 +106,21 @@ class CacheStats:
             "intern_misses": self.intern_misses,
         }
 
+    def copy(self) -> "CacheStats":
+        return CacheStats(**self.as_dict())
+
+    def since(self, before: "CacheStats") -> "CacheStats":
+        """The counter deltas accumulated after ``before`` was copied.
+
+        Used when one cache is shared across several ``synthesize`` calls
+        (the per-registry warm cache): each run reports only its own work.
+        """
+
+        before_counts = before.as_dict()
+        return CacheStats(
+            **{key: value - before_counts[key] for key, value in self.as_dict().items()}
+        )
+
     def merge(self, other: "CacheStats") -> None:
         self.spec_hits += other.spec_hits
         self.spec_misses += other.spec_misses

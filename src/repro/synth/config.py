@@ -14,6 +14,12 @@ The configuration exposes every knob the paper's evaluation turns:
   search and merge validation are answered from the memo; disabling it
   restores the execute-every-time behavior while still *counting* the
   redundant executions, which ``benchmarks/bench_cache.py`` reports;
+* ``snapshot_state`` controls the copy-on-write database snapshot manager
+  of :mod:`repro.synth.state`: when enabled (the default) and the problem
+  carries its database, the reset closure and each spec's seed inserts are
+  replayed once and restored by cheap table swaps afterwards; disabling it
+  restores the reset-every-time behavior (the ``no_snapshot`` ablation and
+  ``benchmarks/bench_state.py``'s baseline);
 * the remaining limits bound the enumerative search and expose the
   optimizations of Section 4 (solution/guard reuse, negated-guard reuse,
   type narrowing, exploration order) for the ablation benchmarks.
@@ -67,6 +73,12 @@ class SynthConfig:
     cache_spec_outcomes: bool = True
     spec_cache_max_entries: int = 100_000
     cache_track_redundancy: bool = True
+
+    # State management (repro.synth.state).  ``snapshot_state`` restores the
+    # database from copy-on-write snapshots instead of replaying the reset
+    # closure and seed inserts on every candidate evaluation; it only takes
+    # effect for problems that carry their database.
+    snapshot_state: bool = True
 
     # ------------------------------------------------------------------ modes
 

@@ -35,10 +35,13 @@ programmatic construction (the benchmark suite uses both styles).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.synth.goal import PostcondFn, SetupFn, Spec, SynthesisProblem
 from repro.typesys.class_table import ClassTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.activerecord.database import Database
 
 
 class SpecBuilder:
@@ -91,18 +94,24 @@ def define(
     consts: Sequence[Any] = (),
     class_table: Optional[ClassTable] = None,
     reset: Callable[[], None] = lambda: None,
+    database: Optional["Database"] = None,
 ) -> ProblemBuilder:
     """Create a synthesis problem, mirroring the paper's ``define`` form.
 
     ``signature`` is an RDL-style method signature string; ``consts`` is the
     list of constants (including class constants) available to the
     synthesizer; ``reset`` clears global state before every spec run.
+    Passing the ``database`` the reset closure restores opts the problem
+    into copy-on-write snapshot/restore state management
+    (:mod:`repro.synth.state`) instead of replaying ``reset`` plus the
+    setups' seed inserts on every candidate evaluation.
     """
 
     if class_table is None:
         class_table = ClassTable()
     base = SynthesisProblem.from_signature(
-        name, signature, class_table, constants=consts, reset=reset
+        name, signature, class_table, constants=consts, reset=reset,
+        database=database,
     )
     return ProblemBuilder(
         name=base.name,
@@ -112,4 +121,5 @@ def define(
         specs=base.specs,
         constants=base.constants,
         reset=base.reset,
+        database=base.database,
     )

@@ -30,8 +30,10 @@ from repro.typesys.class_table import ClassTable
 from repro.typesys.sigparser import parse_method_sig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.activerecord.database import Database
     from repro.synth.cache import SynthCache
     from repro.synth.search import SearchStats
+    from repro.synth.state import StateManager
 
 SetupFn = Callable[["SpecContext"], None]
 PostcondFn = Callable[["SpecContext", Any], None]
@@ -65,16 +67,25 @@ class SpecContext:
         self.passed_asserts = 0
         #: Scratch space for the setup block (plays the role of Ruby's @ivars).
         self.state: Dict[str, Any] = {}
+        #: Observer attached by :mod:`repro.synth.state` during a recording
+        #: pass; ``None`` everywhere else.
+        self._recorder: Any = None
 
     # -- setup helpers ---------------------------------------------------------
 
     def invoke(self, *args: Any) -> Any:
         """Call the synthesized method (the ``x_r = P(e)`` step of a setup)."""
 
+        if self._recorder is not None:
+            self._recorder.before_invoke(self, args)
         self.result = self.interpreter.call_program(self.program, *args)
+        if self._recorder is not None:
+            self._recorder.after_invoke(self)
         return self.result
 
     def __setitem__(self, key: str, value: Any) -> None:
+        if self._recorder is not None:
+            self._recorder.on_state_write(self)
         self.state[key] = value
 
     def __getitem__(self, key: str) -> Any:
@@ -119,11 +130,23 @@ class SynthesisProblem:
     specs: List[Spec] = field(default_factory=list)
     constants: Tuple[Any, ...] = ()
     reset: Callable[[], None] = lambda: None
+    #: The database the reset closure restores.  Providing it opts the
+    #: problem into copy-on-write snapshot/restore state management
+    #: (:mod:`repro.synth.state`) and asserts that ``reset`` and the spec
+    #: setups touch only this database, deterministically.
+    database: Optional["Database"] = None
     #: Evaluation caches registered against this problem; flushed whenever
     #: the baseline state ``reset`` restores changes (see ``rebind_reset``).
     _caches: List["SynthCache"] = field(
         default_factory=list, init=False, repr=False, compare=False
     )
+    #: Lazily-created snapshot manager (see :meth:`state_manager`).
+    _state_manager: Optional["StateManager"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Number of reset-closure invocations (the state-rebuild work the
+    #: snapshot subsystem removes; surfaced as ``SearchStats.reset_replays``).
+    _reset_count: int = field(default=0, init=False, repr=False, compare=False)
 
     @staticmethod
     def from_signature(
@@ -132,6 +155,7 @@ class SynthesisProblem:
         class_table: ClassTable,
         constants: Sequence[Any] = (),
         reset: Callable[[], None] = lambda: None,
+        database: Optional["Database"] = None,
     ) -> "SynthesisProblem":
         arg_types, ret_type = parse_method_sig(signature)
         return SynthesisProblem(
@@ -141,6 +165,7 @@ class SynthesisProblem:
             class_table=class_table,
             constants=tuple(constants),
             reset=reset,
+            database=database,
         )
 
     # -- derived views -----------------------------------------------------------
@@ -172,6 +197,34 @@ class SynthesisProblem:
     def library_method_count(self) -> int:
         return len(self.class_table.synthesis_methods())
 
+    def run_reset(self) -> None:
+        """Invoke the reset closure (counted so benchmarks can report it)."""
+
+        self.reset()
+        self._reset_count += 1
+
+    @property
+    def reset_replays(self) -> int:
+        return self._reset_count
+
+    # -- state management --------------------------------------------------------
+
+    def state_manager(self) -> Optional["StateManager"]:
+        """The problem's snapshot/restore manager, or ``None`` without a database.
+
+        Created on first use and kept for the problem's lifetime, so the warm
+        baseline and spec recordings are shared across repeated ``synthesize``
+        calls (e.g. a benchmark registry's runs).
+        """
+
+        if self.database is None:
+            return None
+        if self._state_manager is None:
+            from repro.synth.state import StateManager
+
+            self._state_manager = StateManager(self.database)
+        return self._state_manager
+
     # -- cache lifecycle ---------------------------------------------------------
 
     def register_cache(self, cache: "SynthCache") -> None:
@@ -197,6 +250,8 @@ class SynthesisProblem:
 
         for cache in self._caches:
             cache.invalidate()
+        if self._state_manager is not None:
+            self._state_manager.invalidate()
 
     def rebind_reset(self, reset: Callable[[], None]) -> None:
         """Replace the reset function and invalidate dependent caches."""
@@ -253,6 +308,8 @@ def evaluate_spec(
     program: A.MethodDef,
     spec: Spec,
     cache: Optional["SynthCache"] = None,
+    state: Optional["StateManager"] = None,
+    interpreter: Optional[Interpreter] = None,
 ) -> SpecOutcome:
     """Reset global state, run the spec's setup, then its postcondition.
 
@@ -260,17 +317,29 @@ def evaluate_spec(
     effect-annotation precision) return the memoized outcome without
     re-running ``reset``/setup -- the memo of the Section 4 observation
     that unique paths, not tests, should be the bottleneck.
+
+    With a ``state`` manager, the reset closure and the setup's seed work
+    are replaced by copy-on-write snapshot restores once the spec has been
+    recorded (:mod:`repro.synth.state`).  ``interpreter`` lets callers batch
+    several evaluations in one interpreter session (``evaluate_all_specs``).
     """
 
     if cache is not None:
         memoized = cache.lookup_spec(problem, program, spec)
         if memoized is not None:
             return memoized
-    problem.reset()
-    interpreter = Interpreter(problem.class_table)
-    ctx = SpecContext(problem, program, interpreter)
+    interp = interpreter if interpreter is not None else Interpreter(problem.class_table)
+    ctx = SpecContext(problem, program, interp)
+    # The state-restore phase is infrastructure: a crashing reset closure or
+    # corrupt snapshot must propagate, not be misread (and memoized) as a
+    # candidate-induced spec failure.
+    if state is not None:
+        run_setup = state.begin(problem, spec)
+    else:
+        problem.run_reset()
+        run_setup = spec.setup
     try:
-        spec.setup(ctx)
+        run_setup(ctx)
         result = ctx.result
         spec.postcond(ctx, result)
         outcome = SpecOutcome(ok=True, passed_asserts=ctx.passed_asserts, value=result)
@@ -294,13 +363,21 @@ def evaluate_all_specs(
     cache: Optional["SynthCache"] = None,
     budget: Optional["Budget"] = None,
     stats: Optional["SearchStats"] = None,
+    state: Optional["StateManager"] = None,
 ) -> bool:
     """Whether ``program`` passes every spec (used by merge validation).
 
     Checks ``budget`` before each spec execution so the merge phase's
     ordering/validation loops cannot run past the synthesis timeout.
+
+    With a ``state`` manager the whole goal is batched against the candidate
+    in a single interpreter session, with snapshot restores between specs,
+    instead of paying a fresh interpreter plus reset+setup replay per spec.
     """
 
+    interpreter = (
+        Interpreter(problem.class_table) if state is not None else None
+    )
     for spec in specs if specs is not None else problem.specs:
         if budget is not None and budget.expired():
             if stats is not None:
@@ -308,7 +385,10 @@ def evaluate_all_specs(
             raise SynthesisTimeout(
                 f"timeout while validating {program.name!r} against specs"
             )
-        if not evaluate_spec(problem, program, spec, cache=cache).ok:
+        outcome = evaluate_spec(
+            problem, program, spec, cache=cache, state=state, interpreter=interpreter
+        )
+        if not outcome.ok:
             return False
     return True
 
@@ -319,6 +399,7 @@ def evaluate_guard(
     spec: Spec,
     expect: bool,
     cache: Optional["SynthCache"] = None,
+    state: Optional["StateManager"] = None,
 ) -> bool:
     """Whether ``guard`` (as the whole method body) evaluates to ``expect``.
 
@@ -338,12 +419,18 @@ def evaluate_guard(
         memoized = cache.lookup_guard(problem, program, spec)
         if memoized is not MISSING:
             return memoized is not None and memoized == expect
-    problem.reset()
     interpreter = Interpreter(problem.class_table)
     ctx = SpecContext(problem, program, interpreter)
+    # As in evaluate_spec, restore failures are infrastructure errors and
+    # propagate; only the guard's own execution can reject it.
+    if state is not None:
+        run_setup = state.begin(problem, spec)
+    else:
+        problem.run_reset()
+        run_setup = spec.setup
     truthiness: Optional[bool]
     try:
-        spec.setup(ctx)
+        run_setup(ctx)
         truthiness = truthy(ctx.result)
     except Exception:  # noqa: BLE001 - a crashing guard is simply rejected
         truthiness = None

@@ -37,6 +37,7 @@ from repro.synth.goal import (
 )
 from repro.synth.implication import GuardEncoder, negate
 from repro.synth.search import SearchStats, generate_guard
+from repro.synth.state import StateManager
 
 
 @dataclass
@@ -64,6 +65,7 @@ class Merger:
         budget: Optional[Budget] = None,
         stats: Optional[SearchStats] = None,
         cache: Optional[SynthCache] = None,
+        state: Optional[StateManager] = None,
     ) -> None:
         self.problem = problem
         self.config = config
@@ -73,6 +75,8 @@ class Merger:
         #: phase's ordering/validation loops re-run many identical
         #: (program, spec) pairs, which the memo answers without executing.
         self.cache = cache if cache is not None else SynthCache.from_config(config)
+        #: Snapshot manager shared with the searches (None disables replay).
+        self.state = state
         self.encoder = GuardEncoder()
         #: Guards synthesized so far, reused across tuples (Section 4).
         self.known_guards: List[A.Node] = []
@@ -110,6 +114,7 @@ class Merger:
             stats=self.stats,
             initial_candidates=self.guard_candidates(),
             cache=self.cache,
+            state=self.state,
         )
         if guard is not None:
             self.remember_guard(guard)
@@ -184,10 +189,16 @@ class Merger:
         second_guard: Optional[A.Node] = None
         negated = negate(first_guard)
         if all(
-            _guard_holds(self.problem, negated, spec, expect=True, cache=self.cache)
+            _guard_holds(
+                self.problem, negated, spec, expect=True,
+                cache=self.cache, state=self.state,
+            )
             for spec in second.specs
         ) and all(
-            _guard_holds(self.problem, negated, spec, expect=False, cache=self.cache)
+            _guard_holds(
+                self.problem, negated, spec, expect=False,
+                cache=self.cache, state=self.state,
+            )
             for spec in first.specs
         ):
             second_guard = negated
@@ -291,6 +302,7 @@ class Merger:
             cache=self.cache,
             budget=self.budget,
             stats=self.stats,
+            state=self.state,
         )
 
     def _strengthen_all(
@@ -330,10 +342,11 @@ def _guard_holds(
     spec: Spec,
     expect: bool,
     cache: Optional[SynthCache] = None,
+    state: Optional[StateManager] = None,
 ) -> bool:
     from repro.synth.goal import evaluate_guard
 
-    return evaluate_guard(problem, guard, spec, expect, cache=cache)
+    return evaluate_guard(problem, guard, spec, expect, cache=cache, state=state)
 
 
 def _orderings(solutions: List[SpecSolution]) -> List[Tuple[SpecSolution, ...]]:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.lang import ast as A
 from repro.lang import types as T
@@ -34,6 +34,9 @@ from repro.synth.goal import (
     evaluate_guard,
     evaluate_spec,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.synth.state import StateManager
 
 
 @dataclass
@@ -53,6 +56,12 @@ class SearchStats:
     cache_misses: int = 0
     cache_redundant: int = 0
     cache_evictions: int = 0
+    # State-management counters (filled from the run's StateManager, see
+    # repro.synth.state): snapshot restores vs. full reset+setup rebuilds,
+    # plus the raw number of reset-closure invocations.
+    state_restores: int = 0
+    state_rebuilds: int = 0
+    reset_replays: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         self.expansions += other.expansions
@@ -65,6 +74,9 @@ class SearchStats:
         self.cache_misses += other.cache_misses
         self.cache_redundant += other.cache_redundant
         self.cache_evictions += other.cache_evictions
+        self.state_restores += other.state_restores
+        self.state_rebuilds += other.state_rebuilds
+        self.reset_replays += other.reset_replays
 
 
 class _WorkList:
@@ -133,6 +145,7 @@ def generate_for_spec(
     stats: Optional[SearchStats] = None,
     root: Optional[A.Node] = None,
     cache: Optional[SynthCache] = None,
+    state: Optional["StateManager"] = None,
 ) -> Optional[A.Node]:
     """Search for an expression that makes ``spec`` pass (Algorithm 2).
 
@@ -174,7 +187,7 @@ def generate_for_spec(
 
             stats.evaluated += 1
             outcome = evaluate_spec(
-                problem, problem.make_program(candidate), spec, cache=cache
+                problem, problem.make_program(candidate), spec, cache=cache, state=state
             )
             if outcome.ok:
                 return candidate
@@ -202,6 +215,7 @@ def generate_guard(
     stats: Optional[SearchStats] = None,
     initial_candidates: Sequence[A.Node] = (),
     cache: Optional[SynthCache] = None,
+    state: Optional["StateManager"] = None,
 ) -> Optional[A.Node]:
     """Synthesize a branch condition (Section 3.3).
 
@@ -218,10 +232,14 @@ def generate_guard(
     def accepted(guard: A.Node) -> bool:
         stats.evaluated += 1
         for spec in positive_specs:
-            if not evaluate_guard(problem, guard, spec, expect=True, cache=cache):
+            if not evaluate_guard(
+                problem, guard, spec, expect=True, cache=cache, state=state
+            ):
                 return False
         for spec in negative_specs:
-            if not evaluate_guard(problem, guard, spec, expect=False, cache=cache):
+            if not evaluate_guard(
+                problem, guard, spec, expect=False, cache=cache, state=state
+            ):
                 return False
         return True
 

@@ -29,6 +29,7 @@ from repro.synth.goal import (
 from repro.synth.merge import Merger, SpecSolution
 from repro.synth.search import SearchStats, generate_for_spec
 from repro.synth.simplify import simplify
+from repro.synth.state import StateManager, StateStats
 
 
 @dataclass
@@ -44,7 +45,11 @@ class SynthesisResult:
     stats: SearchStats = field(default_factory=SearchStats)
     #: Full counters of the run's evaluation cache (hits/misses/evictions,
     #: plus the redundant executions a disabled cache merely observed).
+    #: When the cache is shared across runs, these are this run's deltas.
     cache_stats: Optional[CacheStats] = None
+    #: This run's snapshot/restore counters (None when state management is
+    #: disabled or the problem carries no database).
+    state_stats: Optional[StateStats] = None
 
     @property
     def method_size(self) -> Optional[int]:
@@ -71,48 +76,69 @@ class SynthesisResult:
 
 
 def synthesize(
-    problem: SynthesisProblem, config: Optional[SynthConfig] = None
+    problem: SynthesisProblem,
+    config: Optional[SynthConfig] = None,
+    cache: Optional[SynthCache] = None,
+    state: Optional[StateManager] = None,
 ) -> SynthesisResult:
-    """Synthesize a method satisfying every spec of ``problem``."""
+    """Synthesize a method satisfying every spec of ``problem``.
+
+    ``cache`` and ``state`` allow a caller (e.g. the benchmark runner) to
+    share one evaluation memo / snapshot manager across several runs on the
+    same problem; by default a per-run cache is created and the problem's
+    own state manager is used (enabled via ``config.snapshot_state`` and
+    available only when the problem carries its database).
+    """
 
     config = config or SynthConfig()
     if config.effect_precision != problem.class_table.effect_precision:
         problem = _with_precision(problem, config.effect_precision)
     budget = Budget(config.timeout_s)
     stats = SearchStats()
-    cache = SynthCache.from_config(config)
+    external_cache = cache is not None
+    cache = cache if cache is not None else SynthCache.from_config(config)
     problem.register_cache(cache)
+    if state is None and config.snapshot_state:
+        state = problem.state_manager()
+    elif not config.snapshot_state:
+        state = None
+    run = _RunCounters(problem, cache, state, external_cache)
     solutions: List[SpecSolution] = []
 
     try:
         for spec in problem.specs:
-            if _reuse_solution(problem, spec, solutions, config, budget, stats, cache):
+            if _reuse_solution(
+                problem, spec, solutions, config, budget, stats, cache, state
+            ):
                 continue
             expr = generate_for_spec(
-                problem, spec, config, budget=budget, stats=stats, cache=cache
+                problem, spec, config, budget=budget, stats=stats, cache=cache,
+                state=state,
             )
             if expr is None:
-                return _finish(
+                return run.finish(
                     SynthesisResult(
                         problem,
                         success=False,
                         solutions=solutions,
                         elapsed_s=budget.elapsed(),
                         stats=stats,
-                    ),
-                    cache,
+                    )
                 )
             simplified = simplify(expr)
             if not evaluate_spec(
-                problem, problem.make_program(simplified), spec, cache=cache
+                problem, problem.make_program(simplified), spec, cache=cache,
+                state=state,
             ).ok:
                 simplified = expr
             solutions.append(SpecSolution(expr=simplified, specs=(spec,)))
 
-        merger = Merger(problem, config, budget=budget, stats=stats, cache=cache)
+        merger = Merger(
+            problem, config, budget=budget, stats=stats, cache=cache, state=state
+        )
         program = merger.merge(solutions)
     except SynthesisTimeout:
-        return _finish(
+        return run.finish(
             SynthesisResult(
                 problem,
                 success=False,
@@ -120,11 +146,10 @@ def synthesize(
                 elapsed_s=budget.elapsed(),
                 timed_out=True,
                 stats=stats,
-            ),
-            cache,
+            )
         )
 
-    return _finish(
+    return run.finish(
         SynthesisResult(
             problem,
             success=program is not None,
@@ -132,25 +157,57 @@ def synthesize(
             solutions=solutions,
             elapsed_s=budget.elapsed(),
             stats=stats,
-        ),
-        cache,
+        )
     )
 
 
-def _finish(result: SynthesisResult, cache: SynthCache) -> SynthesisResult:
-    """Fold the run's cache counters into the result and release the cache.
+class _RunCounters:
+    """Baselines for the cache/state counters of one ``synthesize`` call.
 
-    Unregistering keeps repeated ``synthesize`` calls on one long-lived
-    problem from accumulating dead per-run caches on it.
+    The memo and snapshot manager may be shared across runs (warm registry
+    state), so each result reports only the deltas this run accumulated.
     """
 
-    result.problem.unregister_cache(cache)
-    result.cache_stats = cache.stats
-    result.stats.cache_hits = cache.stats.hits
-    result.stats.cache_misses = cache.stats.misses
-    result.stats.cache_redundant = cache.stats.redundant
-    result.stats.cache_evictions = cache.stats.evictions
-    return result
+    def __init__(
+        self,
+        problem: SynthesisProblem,
+        cache: SynthCache,
+        state: Optional[StateManager],
+        external_cache: bool,
+    ) -> None:
+        self.cache = cache
+        self.state = state
+        self.external_cache = external_cache
+        self.cache_before = cache.stats.copy()
+        self.state_before = state.stats.copy() if state is not None else None
+        self.resets_before = problem.reset_replays
+
+    def finish(self, result: SynthesisResult) -> SynthesisResult:
+        """Fold this run's counter deltas into the result; release the cache.
+
+        A per-run cache is unregistered so repeated ``synthesize`` calls on
+        one long-lived problem do not accumulate dead caches; an external
+        (shared) cache stays registered so baseline invalidations keep
+        reaching it between runs.
+        """
+
+        if not self.external_cache:
+            result.problem.unregister_cache(self.cache)
+        cache_stats = self.cache.stats.since(self.cache_before)
+        result.cache_stats = cache_stats
+        result.stats.cache_hits = cache_stats.hits
+        result.stats.cache_misses = cache_stats.misses
+        result.stats.cache_redundant = cache_stats.redundant
+        result.stats.cache_evictions = cache_stats.evictions
+        if self.state is not None and self.state_before is not None:
+            state_stats = self.state.stats.since(self.state_before)
+            result.state_stats = state_stats
+            result.stats.state_restores = state_stats.restores
+            result.stats.state_rebuilds = state_stats.rebuilds
+        result.stats.reset_replays = (
+            result.problem.reset_replays - self.resets_before
+        )
+        return result
 
 
 def _reuse_solution(
@@ -161,6 +218,7 @@ def _reuse_solution(
     budget: Budget,
     stats: SearchStats,
     cache: Optional[SynthCache] = None,
+    state: Optional[StateManager] = None,
 ) -> bool:
     """Try expressions that solved earlier specs before searching from scratch.
 
@@ -178,7 +236,8 @@ def _reuse_solution(
                 f"timeout while reusing solutions for {spec.name!r}"
             )
         outcome = evaluate_spec(
-            problem, problem.make_program(solution.expr), spec, cache=cache
+            problem, problem.make_program(solution.expr), spec, cache=cache,
+            state=state,
         )
         if outcome.ok:
             solutions[i] = solution.covering(spec)

@@ -71,7 +71,8 @@ def test_snapshot():
     db.insert("posts", title="a")
     db.set_global("k", 1)
     snap = db.snapshot()
-    assert snap["tables"]["posts"][0]["title"] == "a"
+    assert snap["tables"]["posts"]["rows"][1]["title"] == "a"
+    assert snap["tables"]["posts"]["next_id"] == 2
     assert snap["globals"] == {"k": 1}
 
 
