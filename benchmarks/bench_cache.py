@@ -22,10 +22,18 @@ is a >= 2x reduction in redundant spec executions on at least
 The report/CLI plumbing shared with ``bench_state.py`` lives in
 :mod:`ab_harness`.
 
+With ``--store PATH`` the cache-on runs additionally carry a persistent
+spec-outcome store (:mod:`repro.synth.store`): the first invocation
+populates it and later invocations answer executions from it across
+processes, reported as ``store_hits``.  ``--check --min-store-hits 1`` is
+the CI store-persistence gate's second pass: against a populated store it
+must see >= 1 store hit while still synthesizing identical programs.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_cache.py --out cache_report.json
     PYTHONPATH=src python benchmarks/bench_cache.py --check   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_cache.py --store outcomes.json --check
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ for _path in (_SRC, _HERE):
 from ab_harness import ABHarness, SCHEMA_VERSION  # noqa: E402,F401
 from repro.benchmarks import get_benchmark, run_benchmark  # noqa: E402
 from repro.synth.config import SynthConfig  # noqa: E402
+from repro.synth.session import SynthesisSession  # noqa: E402
 
 #: Fast multi-spec registry benchmarks: enough reuse/merge activity to show
 #: redundancy, cheap enough for a CI smoke run.
@@ -50,16 +59,32 @@ DEFAULT_BENCHMARKS = ("S1", "S4", "S5", "S7")
 
 #: Required keys per section, checked by validate_report (and CI).
 _RUN_KEYS = frozenset(
-    {"success", "elapsed_s", "executions", "redundant_executions", "cache_hits"}
+    {
+        "success",
+        "elapsed_s",
+        "executions",
+        "redundant_executions",
+        "cache_hits",
+        "store_hits",
+    }
 )
 
 
-def _run(benchmark_id: str, timeout_s: float, cached: bool) -> Dict[str, object]:
+def _run(
+    benchmark_id: str,
+    timeout_s: float,
+    cached: bool,
+    store_path: Optional[str] = None,
+) -> Dict[str, object]:
     benchmark = get_benchmark(benchmark_id)
     config = SynthConfig.full(timeout_s=timeout_s, cache_spec_outcomes=cached)
-    result = run_benchmark(benchmark, config, runs=1)
+    # Only the cache-on run may consult the persistent store (the off run is
+    # the baseline and must execute everything); the session flushes it.
+    with SynthesisSession(config, store=store_path if cached else None) as session:
+        result = run_benchmark(benchmark, config, runs=1, session=session)
     # A disabled cache executes every lookup (misses AND redundant ones);
-    # an enabled cache executes only the misses.
+    # an enabled cache executes only the misses (store hits never execute
+    # and are excluded from the miss counter).
     executions = result.cache_misses + (0 if cached else result.cache_redundant)
     return {
         "success": result.success,
@@ -67,6 +92,7 @@ def _run(benchmark_id: str, timeout_s: float, cached: bool) -> Dict[str, object]
         "executions": executions,
         "redundant_executions": result.cache_redundant if not cached else 0,
         "cache_hits": result.cache_hits,
+        "store_hits": result.store_hits,
         "_program": result.last_result.program,
         "_text": result.program_text,
     }
@@ -112,12 +138,18 @@ HARNESS = ABHarness(
 )
 
 
-def compare_benchmark(benchmark_id: str, timeout_s: float) -> Dict[str, object]:
-    return HARNESS.compare_benchmark(benchmark_id, timeout_s)
+def compare_benchmark(
+    benchmark_id: str, timeout_s: float, store_path: Optional[str] = None
+) -> Dict[str, object]:
+    return HARNESS.compare_benchmark(benchmark_id, timeout_s, store_path)
 
 
-def build_report(benchmark_ids: Sequence[str], timeout_s: float) -> Dict[str, object]:
-    return HARNESS.build_report(benchmark_ids, timeout_s)
+def build_report(
+    benchmark_ids: Sequence[str],
+    timeout_s: float,
+    store_path: Optional[str] = None,
+) -> Dict[str, object]:
+    return HARNESS.build_report(benchmark_ids, timeout_s, store_path)
 
 
 def validate_report(report: Dict[str, object]) -> List[str]:

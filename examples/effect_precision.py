@@ -7,6 +7,11 @@ prints the synthesis time for each.  Coarser annotations leave more candidate
 time out), while the synthesized code stays correct because candidates are
 always validated against the specs.
 
+The whole sweep runs through one :class:`~repro.synth.session.SynthesisSession`:
+each benchmark's problem is built once and its database snapshot recordings
+are shared across the three precision runs, so the coarser runs replay
+recorded setups instead of rebuilding state from the reset closure.
+
 Run with::
 
     python examples/effect_precision.py
@@ -14,9 +19,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro.benchmarks import get_benchmark, run_benchmark
 from repro.lang.effects import PRECISIONS
-from repro.synth.config import SynthConfig
+from repro.synth import SynthConfig, SynthesisSession
 
 BENCHMARKS = ("S6", "A7", "A9")
 TIMEOUT_S = 30.0
@@ -26,14 +30,19 @@ def main() -> None:
     header = f"{'benchmark':<24}" + "".join(f"{p:>12}" for p in PRECISIONS)
     print(header)
     print("-" * len(header))
+    variants = [(p, {"effect_precision": p}) for p in PRECISIONS]
+    with SynthesisSession(SynthConfig.full(timeout_s=TIMEOUT_S)) as session:
+        entries = session.sweep(BENCHMARKS, variants)
+    rows: dict[str, dict[str, str]] = {}
+    names: dict[str, str] = {}
+    for entry in entries:
+        rows.setdefault(entry.label, {})[entry.variant] = (
+            f"{entry.elapsed_s:.2f}s" if entry.success else "timeout"
+        )
+        names[entry.label] = entry.benchmark.name if entry.benchmark else ""
     for benchmark_id in BENCHMARKS:
-        benchmark = get_benchmark(benchmark_id)
-        cells = []
-        for precision in PRECISIONS:
-            config = SynthConfig.full(timeout_s=TIMEOUT_S, effect_precision=precision)
-            result = run_benchmark(benchmark, config, runs=1)
-            cells.append(f"{result.median_s:.2f}s" if result.success else "timeout")
-        label = f"{benchmark.id} {benchmark.name}"[:24]
+        label = f"{benchmark_id} {names[benchmark_id]}"[:24]
+        cells = [rows[benchmark_id].get(p, "timeout") for p in PRECISIONS]
         print(f"{label:<24}" + "".join(f"{c:>12}" for c in cells))
 
 

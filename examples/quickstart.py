@@ -8,6 +8,10 @@ the synthesizer for a ``user_exists`` method::
       spec "missing username" do ... end
     end
 
+and runs it through a :class:`~repro.synth.session.SynthesisSession`, the
+engine object that owns the evaluation memo and state snapshots (and, with
+``store=...``, a persistent spec-outcome store).
+
 Run with::
 
     python examples/quickstart.py
@@ -16,7 +20,7 @@ Run with::
 from __future__ import annotations
 
 from repro.apps.blog import build_blog_app, seed_blog
-from repro.synth import SynthConfig, define, synthesize
+from repro.synth import SynthConfig, SynthesisSession, define
 
 
 def main() -> None:
@@ -53,7 +57,8 @@ def main() -> None:
         def _(ctx, result):
             ctx.assert_(lambda: result is False)
 
-    result = synthesize(problem, SynthConfig(timeout_s=30))
+    with SynthesisSession(SynthConfig(timeout_s=30)) as session:
+        result = session.run(problem)
     print(f"synthesized in {result.elapsed_s:.2f}s "
           f"({result.stats.evaluated} candidates evaluated)\n")
     print(result.pretty())

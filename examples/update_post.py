@@ -13,15 +13,16 @@ Run with::
 from __future__ import annotations
 
 from repro.benchmarks import get_benchmark
-from repro.synth import SynthConfig, synthesize
+from repro.synth import SynthConfig, SynthesisSession
 
 
 def main() -> None:
     benchmark = get_benchmark("S6")  # "overview (ext)"
-    problem = benchmark.build()
     config = benchmark.make_config(SynthConfig(timeout_s=120))
 
-    result = synthesize(problem, config)
+    with SynthesisSession(config) as session:
+        problem = session.problem_for(benchmark)
+        result = session.run(problem)
     print(f"benchmark : {benchmark.id} {benchmark.name}")
     print(f"specs     : {len(problem.specs)}")
     print(f"library   : {problem.library_method_count()} methods")

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Lightweight CI gate: tier-1 tests plus the cache- and state-bench smokes.
+# Lightweight CI gate: tier-1 tests plus the cache-, state- and store-bench
+# smokes.
 #
 #   scripts/ci.sh            # tier-1 pytest + bench_cache/bench_state --check
 #   CI_SKIP_TESTS=1 scripts/ci.sh   # bench smokes only
@@ -9,6 +10,11 @@
 # unless >= 3 benchmarks meet the subsystem's >= 2x reduction target
 # (redundant spec executions for the cache, reset-closure replays for the
 # state snapshots) with identical synthesized programs.
+#
+# The store-persistence gate then runs bench_cache twice more against one
+# persistent spec-outcome store (repro.synth.store): the first pass
+# populates it, the second pass -- a separate process -- must answer >= 1
+# spec execution from the store while still synthesizing identical programs.
 
 set -euo pipefail
 
@@ -36,4 +42,24 @@ python benchmarks/bench_state.py \
     --min-benchmarks 3 \
     --check
 
-echo "== ok: reports at $REPORT and $STATE_REPORT =="
+echo "== store persistence gate =="
+STORE_DB="${CI_STORE_DB:-bench_outcome_store.json}"
+STORE_REPORT="${CI_STORE_REPORT:-bench_store_report.json}"
+rm -f "$STORE_DB"
+# Pass 1 populates the store; pass 2 (a fresh process) must hit it.
+python benchmarks/bench_cache.py \
+    --benchmarks S1 S4 \
+    --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
+    --store "$STORE_DB" \
+    --min-benchmarks 2 \
+    --check > /dev/null
+python benchmarks/bench_cache.py \
+    --benchmarks S1 S4 \
+    --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
+    --store "$STORE_DB" \
+    --out "$STORE_REPORT" \
+    --min-benchmarks 2 \
+    --min-store-hits 1 \
+    --check
+
+echo "== ok: reports at $REPORT, $STATE_REPORT and $STORE_REPORT =="

@@ -19,6 +19,9 @@ State isolation guarantees:
   snapshot's by reference; the shared row dicts are protected by a
   copy-on-write set (``Table._shared``), so restoring is O(rows) pointer
   copies and only rows that are subsequently updated pay for a real copy.
+  The globals dict is copy-on-write too: when all its values are atomic it
+  is shared with the snapshot by reference and the next
+  ``set_global``/``delete_global`` pays for the copy.
 """
 
 from __future__ import annotations
@@ -142,6 +145,9 @@ class Database:
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._globals: Dict[str, Any] = {}
+        #: Whether ``_globals`` is currently shared with a snapshot
+        #: (copy-on-write: the next write replaces it with a private copy).
+        self._globals_shared = False
 
     # -- tables ---------------------------------------------------------------
 
@@ -193,11 +199,20 @@ class Database:
     def get_global(self, key: str, default: Any = None) -> Any:
         return self._globals.get(key, default)
 
+    def _unshare_globals(self) -> None:
+        """Give the database a private globals dict before mutating it."""
+
+        if self._globals_shared:
+            self._globals = dict(self._globals)
+            self._globals_shared = False
+
     def set_global(self, key: str, value: Any) -> Any:
+        self._unshare_globals()
         self._globals[key] = value
         return value
 
     def delete_global(self, key: str) -> None:
+        self._unshare_globals()
         self._globals.pop(key, None)
 
     def globals(self) -> Dict[str, Any]:
@@ -206,11 +221,32 @@ class Database:
     # -- lifecycle -------------------------------------------------------------
 
     def reset(self) -> None:
-        """Clear every table and global; used before each spec run."""
+        """Clear every table and global; used before each spec run.
+
+        The globals dict is *replaced*, never cleared in place: it may be
+        shared copy-on-write with a live snapshot.
+        """
 
         for table in self._tables.values():
             table.clear()
-        self._globals.clear()
+        self._globals = {}
+        self._globals_shared = False
+
+    def _snapshot_globals(self) -> Dict[str, Any]:
+        """The globals for a snapshot, shared copy-on-write when possible.
+
+        When every value is atomic (the SiteSetting-style common case) the
+        live dict itself is handed to the snapshot and marked shared, so
+        snapshotting is O(1); the next ``set_global``/``delete_global``
+        replaces it with a private copy.  Any mutable value forces the
+        legacy eager copy -- such a value could be mutated in place through
+        a ``get_global`` reference, which dict-level sharing cannot see.
+        """
+
+        if all(isinstance(value, _ATOMIC) for value in self._globals.values()):
+            self._globals_shared = True
+            return self._globals
+        return {key: _copy_value(value) for key, value in self._globals.items()}
 
     def snapshot(self) -> Dict[str, Any]:
         """An exact, independent copy of the database state.
@@ -228,7 +264,7 @@ class Database:
                 for name, table in self._tables.items()
                 if table.rows or table.next_id != 1
             },
-            "globals": {key: _copy_value(value) for key, value in self._globals.items()},
+            "globals": self._snapshot_globals(),
         }
 
     def restore(self, snap: Dict[str, Any]) -> None:
@@ -236,7 +272,9 @@ class Database:
 
         Tables created after the snapshot was captured are cleared, mirroring
         what re-running ``reset`` plus the seed closure would leave behind.
-        The snapshot stays valid across any number of restores.
+        The snapshot stays valid across any number of restores: like the
+        tables, the globals dict is adopted by reference (and marked shared)
+        when all its values are atomic, copied eagerly otherwise.
         """
 
         saved = snap["tables"]
@@ -245,9 +283,15 @@ class Database:
                 table.clear()
         for name, entry in saved.items():
             self.table(name).adopt(entry["rows"], entry["next_id"])
-        self._globals = {
-            key: _copy_value(value) for key, value in snap["globals"].items()
-        }
+        snapshot_globals = snap["globals"]
+        if all(isinstance(value, _ATOMIC) for value in snapshot_globals.values()):
+            self._globals = snapshot_globals
+            self._globals_shared = True
+        else:
+            self._globals = {
+                key: _copy_value(value) for key, value in snapshot_globals.items()
+            }
+            self._globals_shared = False
 
     def total_rows(self) -> int:
         return sum(len(table) for table in self._tables.values())

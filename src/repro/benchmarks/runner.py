@@ -1,4 +1,12 @@
-"""Running benchmarks and collecting the metrics Table 1 reports."""
+"""Running benchmarks and collecting the metrics Table 1 reports.
+
+Built on :class:`repro.synth.session.SynthesisSession`: a warm
+``run_benchmark`` shares one session (evaluation memo, snapshot recordings
+and, when the caller provides a session with one, the persistent
+spec-outcome store) across its runs, while ``warm_state=False`` gives every
+run a freshly built problem inside a throwaway store-less session for fully
+isolated (cold) timing measurements.
+"""
 
 from __future__ import annotations
 
@@ -8,9 +16,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.benchmarks.registry import BenchmarkSpec
-from repro.synth.cache import SynthCache
 from repro.synth.config import SynthConfig
-from repro.synth.synthesizer import SynthesisResult, synthesize
+from repro.synth.session import SynthesisSession
+from repro.synth.synthesizer import SynthesisResult
 
 
 @dataclass
@@ -33,6 +41,10 @@ class BenchmarkResult:
     cache_misses: int = 0
     cache_redundant: int = 0
     cache_evictions: int = 0
+    # Persistent-store counters summed across runs (see repro.synth.store):
+    # outcomes answered from / missed by the session's on-disk store.
+    store_hits: int = 0
+    store_misses: int = 0
     # State-management counters summed across runs (see repro.synth.state):
     # snapshot restores vs. full reset+setup rebuilds, and how often the
     # problem's reset closure actually ran.
@@ -59,55 +71,80 @@ class BenchmarkResult:
             return "timeout" if self.timed_out else "fail"
         return f"{self.median_s:.2f} ± {self.siqr_s:.2f}"
 
+    def record(self, outcome: SynthesisResult, elapsed: float) -> None:
+        """Fold one run's outcome into the summed counters."""
+
+        self.last_result = outcome
+        self.timed_out = outcome.timed_out
+        self.success = outcome.success
+        self.cache_hits += outcome.stats.cache_hits
+        self.cache_misses += outcome.stats.cache_misses
+        self.cache_redundant += outcome.stats.cache_redundant
+        self.cache_evictions += outcome.stats.cache_evictions
+        self.store_hits += outcome.stats.store_hits
+        self.store_misses += outcome.stats.store_misses
+        self.state_restores += outcome.stats.state_restores
+        self.state_rebuilds += outcome.stats.state_rebuilds
+        self.reset_replays += outcome.stats.reset_replays
+        if outcome.success:
+            self.times_s.append(elapsed)
+            self.meth_size = outcome.method_size
+            self.syn_paths = outcome.paths
+            self.program_text = outcome.pretty()
+
 
 def run_benchmark(
     benchmark: BenchmarkSpec,
     config: Optional[SynthConfig] = None,
     runs: int = 1,
     warm_state: bool = True,
+    session: Optional[SynthesisSession] = None,
 ) -> BenchmarkResult:
     """Run one benchmark ``runs`` times and collect Table 1 metrics.
 
     With ``warm_state`` (the default) the benchmark's problem (app substrate,
-    class table, specs) is built once and its evaluation memo, AST interner
-    and database snapshot manager are shared across the runs, so repeated
-    runs reuse the warm baseline instead of rebuilding it per ``synthesize``
-    call.  ``warm_state=False`` rebuilds everything per run for fully
-    isolated (cold) measurements.  Per-benchmark config overrides (e.g. a
-    larger size bound) are applied on top of ``config`` either way.
+    class table, specs) is built once per session and the session's
+    evaluation memo, AST interner, database snapshot manager and (if any)
+    persistent store are shared across the runs.  Passing an external
+    ``session`` extends that sharing across *calls* -- e.g. one session
+    carrying a populated spec-outcome store.  ``warm_state=False`` rebuilds
+    everything per run inside a throwaway store-less session for fully
+    isolated (cold) measurements; an external session is then ignored.
+    Per-benchmark config overrides (e.g. a larger size bound) are applied on
+    top of ``config`` either way.
     """
 
     effective = benchmark.make_config(config)
     result = BenchmarkResult(benchmark=benchmark, config=effective)
 
-    problem = None
-    cache: Optional[SynthCache] = None
-    for _ in range(max(runs, 1)):
-        if problem is None or not warm_state:
+    if not warm_state:
+        for _ in range(max(runs, 1)):
             problem = benchmark.build()
-            cache = SynthCache.from_config(effective)
+            result.specs = len(problem.specs)
+            result.lib_methods = problem.library_method_count()
+            with SynthesisSession(effective) as cold:
+                start = time.perf_counter()
+                outcome = cold.run(problem, config=effective)
+                elapsed = time.perf_counter() - start
+            result.record(outcome, elapsed)
+            if not outcome.success:
+                break
+        return result
+
+    owns_session = session is None
+    active = session if session is not None else SynthesisSession(effective)
+    try:
+        problem = active.problem_for(benchmark)
         result.specs = len(problem.specs)
         result.lib_methods = problem.library_method_count()
-        start = time.perf_counter()
-        outcome = synthesize(problem, effective, cache=cache)
-        elapsed = time.perf_counter() - start
-        result.last_result = outcome
-        result.timed_out = outcome.timed_out
-        result.success = outcome.success
-        result.cache_hits += outcome.stats.cache_hits
-        result.cache_misses += outcome.stats.cache_misses
-        result.cache_redundant += outcome.stats.cache_redundant
-        result.cache_evictions += outcome.stats.cache_evictions
-        result.state_restores += outcome.stats.state_restores
-        result.state_rebuilds += outcome.stats.state_rebuilds
-        result.reset_replays += outcome.stats.reset_replays
-        if not outcome.success:
-            break
-        result.times_s.append(elapsed)
-        result.meth_size = outcome.method_size
-        result.syn_paths = outcome.paths
-        result.program_text = outcome.pretty()
-
-    if problem is not None and cache is not None:
-        problem.unregister_cache(cache)
+        for _ in range(max(runs, 1)):
+            start = time.perf_counter()
+            outcome = active.run(problem, config=effective)
+            elapsed = time.perf_counter() - start
+            result.record(outcome, elapsed)
+            if not outcome.success:
+                break
+    finally:
+        if owns_session:
+            active.close()
     return result

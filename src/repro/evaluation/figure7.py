@@ -6,6 +6,12 @@ completes within *t* seconds.  The expected reproduction shape: full guidance
 solves every benchmark quickly; with both guidances disabled only a few small
 benchmarks finish before the timeout; single-guidance modes fall in between,
 with type-only ahead of effect-only on the synthetic (pure) benchmarks.
+
+The sweep runs through :meth:`SynthesisSession.sweep` with ``warm=False``:
+every (benchmark, mode) cell gets a freshly built problem in a throwaway
+session, because sharing the evaluation memo across guidance modes would let
+a later mode answer spec executions recorded by an earlier one and flatten
+exactly the timing differences the figure exists to show.
 """
 
 from __future__ import annotations
@@ -15,9 +21,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.benchmarks import BenchmarkSpec, all_benchmarks, run_benchmark
+from repro.benchmarks import BenchmarkSpec, all_benchmarks
 from repro.evaluation.report import cumulative_counts, format_table
 from repro.evaluation.table1 import MODE_FACTORIES, MODES
+from repro.synth.session import SynthesisSession
 
 
 @dataclass
@@ -43,15 +50,16 @@ def run_figure7(
     """Run every benchmark under every guidance mode."""
 
     benchmarks = list(benchmarks) if benchmarks is not None else all_benchmarks()
-    series: List[Figure7Series] = []
-    for mode in modes:
-        config = MODE_FACTORIES[mode](timeout_s=timeout_s)
-        entry = Figure7Series(mode=mode)
-        for benchmark in benchmarks:
-            result = run_benchmark(benchmark, config, runs=1)
-            entry.times_s[benchmark.id] = result.median_s if result.success else None
-        series.append(entry)
-    return series
+    variants = [
+        (mode, MODE_FACTORIES[mode](timeout_s=timeout_s)) for mode in modes
+    ]
+    series = {mode: Figure7Series(mode=mode) for mode in modes}
+    with SynthesisSession() as session:
+        for entry in session.sweep(benchmarks, variants, warm=False):
+            series[entry.variant].times_s[entry.label] = (
+                entry.elapsed_s if entry.success else None
+            )
+    return [series[mode] for mode in modes]
 
 
 def render(series: Sequence[Figure7Series], timeout_s: float) -> str:

@@ -14,15 +14,29 @@ The engine mirrors the three components of the paper's algorithm:
 
 :mod:`repro.synth.search` implements the work-list of Algorithm 2 and
 :mod:`repro.synth.synthesizer` ties everything together behind
-:func:`~repro.synth.synthesizer.synthesize`.
+:func:`~repro.synth.synthesizer.run_synthesis`.
+
+The public entry point is :class:`~repro.synth.session.SynthesisSession`: a
+context-managed engine owning the evaluation memo
+(:mod:`repro.synth.cache`), the snapshot managers
+(:mod:`repro.synth.state`), the base config and an optional persistent
+spec-outcome store (:mod:`repro.synth.store`).  ``session.run`` replaces the
+deprecated one-shot :func:`~repro.synth.synthesizer.synthesize`, and
+``session.sweep`` drives the evaluation harnesses.  See ``docs/API.md``.
 """
 
 from repro.synth.cache import CacheStats, SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.dsl import define
 from repro.synth.goal import Spec, SpecContext, SynthesisProblem, evaluate_spec
-from repro.synth.state import StateManager, StateStats
-from repro.synth.synthesizer import SynthesisResult, synthesize
+from repro.synth.session import SweepEntry, SynthesisSession
+from repro.synth.state import (
+    NondeterministicSetupError,
+    StateManager,
+    StateStats,
+)
+from repro.synth.store import SpecOutcomeStore, StoreStats
+from repro.synth.synthesizer import SynthesisResult, run_synthesis, synthesize
 
 __all__ = [
     "CacheStats",
@@ -33,8 +47,14 @@ __all__ = [
     "SpecContext",
     "SynthesisProblem",
     "evaluate_spec",
+    "NondeterministicSetupError",
     "StateManager",
     "StateStats",
+    "SpecOutcomeStore",
+    "StoreStats",
+    "SweepEntry",
+    "SynthesisSession",
     "SynthesisResult",
+    "run_synthesis",
     "synthesize",
 ]

@@ -37,6 +37,13 @@ A *disabled* cache (``SynthConfig(cache_spec_outcomes=False)``) still tracks
 which keys it has seen and counts the lookups that would have hit as
 ``redundant`` executions, which is how ``benchmarks/bench_cache.py`` measures
 the redundancy the memo removes without changing the disabled-path behavior.
+
+An enabled cache may additionally carry a persistent spec-outcome store
+(:mod:`repro.synth.store`, owned by a
+:class:`~repro.synth.session.SynthesisSession`): in-memory misses fall back
+to the store's content-hash-keyed entries, which survive the process, and
+every executed outcome is written through.  Store hits skip the execution
+like memo hits do but are counted separately (``CacheStats.store_hits``).
 """
 
 from __future__ import annotations
@@ -50,6 +57,7 @@ from repro.lang import ast as A
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.synth.config import SynthConfig
     from repro.synth.goal import Spec, SpecOutcome, SynthesisProblem
+    from repro.synth.store import SpecOutcomeStore
 
 #: Default bound on memo entries; beyond it the least-recently-used entry
 #: is evicted (counted in :attr:`CacheStats.evictions`).
@@ -79,6 +87,11 @@ class CacheStats:
     invalidations: int = 0
     intern_hits: int = 0
     intern_misses: int = 0
+    #: Persistent-store lookups (spec and guard combined; see
+    #: :mod:`repro.synth.store`).  A store hit skips the execution entirely
+    #: and is *not* double-counted as an in-memory hit or miss.
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def hits(self) -> int:
@@ -104,6 +117,8 @@ class CacheStats:
             "invalidations": self.invalidations,
             "intern_hits": self.intern_hits,
             "intern_misses": self.intern_misses,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
         }
 
     def copy(self) -> "CacheStats":
@@ -132,6 +147,8 @@ class CacheStats:
         self.invalidations += other.invalidations
         self.intern_hits += other.intern_hits
         self.intern_misses += other.intern_misses
+        self.store_hits += other.store_hits
+        self.store_misses += other.store_misses
 
 
 class NodeInterner:
@@ -176,6 +193,7 @@ class SynthCache:
         enabled: bool = True,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         track_redundancy: bool = True,
+        store: Optional["SpecOutcomeStore"] = None,
     ) -> None:
         self.enabled = enabled
         self.max_entries = max_entries
@@ -184,6 +202,11 @@ class SynthCache:
         #: ``track_redundancy=False`` a disabled cache is a true no-op
         #: baseline apart from incrementing the miss counter.
         self.track_redundancy = track_redundancy
+        #: Optional persistent spec-outcome store (:mod:`repro.synth.store`).
+        #: Consulted only on in-memory misses of an *enabled* cache -- a
+        #: disabled cache is a measurement baseline and must execute -- and
+        #: written through whenever an executed outcome is recorded.
+        self.store = store
         self.stats = CacheStats()
         self.interner = NodeInterner(self.stats)
         self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
@@ -242,6 +265,13 @@ class SynthCache:
         key = self._key("spec", problem, program, spec)
         entry = self._get(key)
         if entry is _MISSING:
+            if self.enabled and self.store is not None:
+                outcome = self.store.load_spec(problem, program, spec)
+                if outcome is not None:
+                    self.stats.store_hits += 1
+                    self._put(key, outcome)
+                    return outcome
+                self.stats.store_misses += 1
             self.stats.spec_misses += 1
             return None
         if not self.enabled:
@@ -257,6 +287,8 @@ class SynthCache:
         spec: "Spec",
         outcome: "SpecOutcome",
     ) -> None:
+        if self.enabled and self.store is not None:
+            self.store.save_spec(problem, program, spec, outcome)
         if not self.enabled and not self.track_redundancy:
             return
         key = self._key("spec", problem, program, spec)
@@ -279,6 +311,15 @@ class SynthCache:
         key = self._key("guard", problem, program, spec)
         entry = self._get(key)
         if entry is _MISSING:
+            if self.enabled and self.store is not None:
+                from repro.synth.store import STORE_MISS
+
+                truth = self.store.load_guard(problem, program, spec)
+                if truth is not STORE_MISS:
+                    self.stats.store_hits += 1
+                    self._put(key, truth)
+                    return truth
+                self.stats.store_misses += 1
             self.stats.guard_misses += 1
             return _MISSING
         if not self.enabled:
@@ -294,6 +335,8 @@ class SynthCache:
         spec: "Spec",
         truthiness: Optional[bool],
     ) -> None:
+        if self.enabled and self.store is not None:
+            self.store.save_guard(problem, program, spec, truthiness)
         if not self.enabled and not self.track_redundancy:
             return
         key = self._key("guard", problem, program, spec)
@@ -301,11 +344,30 @@ class SynthCache:
 
     # ------------------------------------------------------------------ lifecycle
 
-    def invalidate(self) -> None:
-        """Drop every memoized outcome (the baseline state changed)."""
+    def clear_memory(self) -> None:
+        """Drop the in-memory memo and interner but keep the store intact.
+
+        Used by ``SynthesisSession.clear_memory_caches`` to simulate a fresh
+        process: the next lookups miss in memory and fall through to the
+        persistent store.  This is *not* an invalidation -- the persisted
+        outcomes are still valid.
+        """
 
         self._entries.clear()
         self.interner.clear()
+
+    def invalidate(self) -> None:
+        """Drop every memoized outcome (the baseline state changed).
+
+        An attached persistent store is wiped too: its content hashes cannot
+        see out-of-band baseline mutations, so stale entries must not
+        survive the flush that the memo does not.
+        """
+
+        self._entries.clear()
+        self.interner.clear()
+        if self.store is not None:
+            self.store.invalidate()
         self.stats.invalidations += 1
 
     def __len__(self) -> int:

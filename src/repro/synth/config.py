@@ -19,7 +19,9 @@ The configuration exposes every knob the paper's evaluation turns:
   carries its database, the reset closure and each spec's seed inserts are
   replayed once and restored by cheap table swaps afterwards; disabling it
   restores the reset-every-time behavior (the ``no_snapshot`` ablation and
-  ``benchmarks/bench_state.py``'s baseline);
+  ``benchmarks/bench_state.py``'s baseline), and ``verify_recordings`` is an
+  opt-in debug mode that periodically re-records a replayed spec's setup and
+  raises on nondeterminism;
 * the remaining limits bound the enumerative search and expose the
   optimizations of Section 4 (solution/guard reuse, negated-guard reuse,
   type narrowing, exploration order) for the ablation benchmarks.
@@ -80,6 +82,16 @@ class SynthConfig:
     # effect for problems that carry their database.
     snapshot_state: bool = True
 
+    # Opt-in debug mode for the snapshot subsystem's determinism contract:
+    # when > 0, every Nth replay of a recorded spec re-runs the full
+    # reset+setup instead and diffs the fresh recording (pre-invoke database
+    # snapshot, invoke args, scratch state) against the stored one, raising
+    # repro.synth.state.NondeterministicSetupError on a mismatch.  0 (the
+    # default) disables verification; it exists to catch setups that violate
+    # the ``define(..., database=...)`` determinism opt-in, at the cost of a
+    # periodic full rebuild.
+    verify_recordings: int = 0
+
     # ------------------------------------------------------------------ modes
 
     def with_mode(self, use_types: bool, use_effects: bool) -> "SynthConfig":
@@ -126,3 +138,5 @@ class SynthConfig:
             raise ValueError(f"unknown exploration order {self.exploration_order!r}")
         if self.spec_cache_max_entries <= 0:
             raise ValueError("spec_cache_max_entries must be positive")
+        if self.verify_recordings < 0:
+            raise ValueError("verify_recordings must be >= 0 (0 disables)")

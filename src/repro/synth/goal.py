@@ -26,6 +26,7 @@ from repro.lang.values import truthy, type_of_value
 from repro.interp.effect_log import effect_capture
 from repro.interp.errors import AssertionFailure, SynRuntimeError
 from repro.interp.interpreter import Interpreter
+from repro.synth.state import NondeterministicSetupError
 from repro.typesys.class_table import ClassTable
 from repro.typesys.sigparser import parse_method_sig
 
@@ -343,6 +344,10 @@ def evaluate_spec(
         result = ctx.result
         spec.postcond(ctx, result)
         outcome = SpecOutcome(ok=True, passed_asserts=ctx.passed_asserts, value=result)
+    except NondeterministicSetupError:
+        # The verify_recordings debug mode caught a broken determinism
+        # contract: infrastructure, not a candidate failure -- never memoize.
+        raise
     except AssertionFailure as failure:
         outcome = SpecOutcome(
             ok=False, passed_asserts=ctx.passed_asserts, failure=failure
@@ -432,6 +437,8 @@ def evaluate_guard(
     try:
         run_setup(ctx)
         truthiness = truthy(ctx.result)
+    except NondeterministicSetupError:
+        raise
     except Exception:  # noqa: BLE001 - a crashing guard is simply rejected
         truthiness = None
     if cache is not None:

@@ -56,6 +56,11 @@ class SearchStats:
     cache_misses: int = 0
     cache_redundant: int = 0
     cache_evictions: int = 0
+    # Persistent-store counters (repro.synth.store, attached to the run's
+    # SynthCache by a SynthesisSession): outcomes answered from / looked up
+    # against the on-disk spec-outcome store.
+    store_hits: int = 0
+    store_misses: int = 0
     # State-management counters (filled from the run's StateManager, see
     # repro.synth.state): snapshot restores vs. full reset+setup rebuilds,
     # plus the raw number of reset-closure invocations.
@@ -74,6 +79,8 @@ class SearchStats:
         self.cache_misses += other.cache_misses
         self.cache_redundant += other.cache_redundant
         self.cache_evictions += other.cache_evictions
+        self.store_hits += other.store_hits
+        self.store_misses += other.store_misses
         self.state_restores += other.state_restores
         self.state_rebuilds += other.state_rebuilds
         self.reset_replays += other.reset_replays

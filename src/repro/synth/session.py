@@ -1,0 +1,389 @@
+"""The :class:`SynthesisSession` engine API.
+
+The paper's evaluation is not one synthesis run but a long sequence of
+*related* runs: Table 1 medians repeat each benchmark, Figure 7 sweeps the
+four guidance modes and Figure 8 sweeps the three effect-annotation
+precisions.  Before this module, each harness hand-threaded the warm
+resources (``synthesize(problem, config, cache=..., state=...)``), precision
+overrides silently rebuilt the problem and dropped them, and nothing
+survived the process.
+
+A session is the engine object that owns everything a sequence of runs
+shares:
+
+* the base :class:`~repro.synth.config.SynthConfig` (per-run overrides are
+  applied on top);
+* one :class:`~repro.synth.cache.SynthCache` -- the spec/guard evaluation
+  memo and hit counters -- shared by every run of the session;
+* the per-problem :class:`~repro.synth.state.StateManager` snapshot
+  recordings (held on the problems, reused by the session across runs *and*
+  across effect-precision variants: ``run`` derives coarsened problem copies
+  that share the original's manager and cache registration, so a Figure 8
+  sweep replays recordings instead of rebuilding state);
+* optionally a persistent :class:`~repro.synth.store.SpecOutcomeStore`
+  (content-hash keyed, JSON-backed) so outcomes survive the process --
+  repeated evaluation sweeps skip re-execution entirely.
+
+Typical use::
+
+    from repro.synth import SynthConfig, SynthesisSession
+
+    with SynthesisSession(SynthConfig(timeout_s=30), store="outcomes.json") as s:
+        result = s.run(problem)                       # one warm run
+        entries = s.sweep(                            # problems x variants
+            ["S1", "S4"],
+            variants=[("precise", {}), ("class", {"effect_precision": "class"})],
+        )
+
+``session.sweep`` is the engine behind the Table 1 / Figure 7 / Figure 8
+harnesses and the CI bench gates; ``synthesize(...)`` remains as a
+deprecated shim that spins up a throwaway session for one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.synth.cache import SynthCache
+from repro.synth.config import SynthConfig
+from repro.synth.goal import SynthesisProblem
+from repro.synth.store import SpecOutcomeStore
+from repro.synth.synthesizer import SynthesisResult, run_synthesis
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import os
+
+    from repro.benchmarks.registry import BenchmarkSpec
+    from repro.synth.state import StateManager
+
+#: What ``run``/``sweep`` accept as a problem source: a built problem, a
+#: benchmark spec, or a registry benchmark id.
+ProblemSource = Union[SynthesisProblem, "BenchmarkSpec", str]
+
+#: What ``sweep`` accepts as one variant: a full config, a dict of
+#: ``SynthConfig`` field overrides, or an explicitly named ``(name, spec)``.
+VariantSpec = Union[SynthConfig, Mapping[str, Any], Tuple[str, Union[SynthConfig, Mapping[str, Any]]]]
+
+
+@dataclass
+class SweepEntry:
+    """One cell of a sweep: a problem run under one variant."""
+
+    label: str
+    variant: str
+    result: SynthesisResult
+    problem: SynthesisProblem
+    benchmark: Optional["BenchmarkSpec"] = None
+
+    @property
+    def success(self) -> bool:
+        return self.result.success
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.result.elapsed_s
+
+
+class SynthesisSession:
+    """A context-managed synthesis engine owning the warm resources.
+
+    Parameters
+    ----------
+    config:
+        The base configuration; ``run``/``sweep`` overrides are applied on
+        top with :func:`dataclasses.replace`.  The session's evaluation memo
+        is built from this config (``cache_spec_outcomes`` etc.), so cache
+        behavior follows the *session* config even when individual runs
+        override other knobs.
+    store:
+        ``None`` (no persistence), a filesystem path (a JSON store is opened
+        there), or an existing :class:`SpecOutcomeStore` to share.  The
+        store is flushed on ``close``/context exit.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SynthConfig] = None,
+        store: "SpecOutcomeStore | str | os.PathLike | None" = None,
+    ) -> None:
+        self.config = config or SynthConfig()
+        self.store = SpecOutcomeStore.open(store)
+        self.cache = SynthCache.from_config(self.config)
+        self.cache.store = self.store
+        self._closed = False
+        #: Problems this session's cache is registered on (for close()).
+        self._registered: List[SynthesisProblem] = []
+        #: Benchmark-id -> built problem, so repeated ``run("S1")`` /
+        #: ``sweep`` calls reuse one warm problem per benchmark.
+        self._built: Dict[str, SynthesisProblem] = {}
+        #: (id(problem), precision) -> (problem, derived copy) for the
+        #: warm precision variants (strong ref keeps ids stable).
+        self._derived: Dict[Tuple[int, str], Tuple[SynthesisProblem, SynthesisProblem]] = {}
+
+    # ------------------------------------------------------------------ running
+
+    def run(
+        self,
+        problem: ProblemSource,
+        config: Optional[SynthConfig] = None,
+        fresh_state: bool = False,
+        **overrides: Any,
+    ) -> SynthesisResult:
+        """Synthesize ``problem`` with the session's warm resources.
+
+        ``problem`` may be a :class:`SynthesisProblem`, a benchmark spec or
+        a registry benchmark id (built once per session; a benchmark's
+        ``config_overrides`` are applied automatically).  ``config``
+        replaces the session base config for this run; ``overrides`` are
+        ``SynthConfig`` field overrides applied on top of whichever base is
+        in effect.  When the effective ``effect_precision`` differs from the
+        problem's class table, the run uses a derived problem copy that
+        *shares* the original's snapshot manager and cache registration, so
+        precision sweeps stay warm.  ``fresh_state=True`` gives this run a
+        brand-new snapshot manager (cold state) instead of the problem's
+        long-lived one.
+        """
+
+        self._check_open()
+        base = config if config is not None else self.config
+        effective = replace(base, **overrides) if overrides else base
+        benchmark = self._as_benchmark(problem)
+        if benchmark is not None:
+            effective = benchmark.make_config(effective)
+        resolved = self._resolve_problem(problem)
+        runner = self._at_precision(resolved, effective.effect_precision)
+        state = self._state_for(runner, effective, fresh_state)
+        self._register(runner)
+        return run_synthesis(
+            runner, effective, cache=self.cache, state=state, external_cache=True
+        )
+
+    def sweep(
+        self,
+        problems: Union[str, Iterable[ProblemSource], None] = "registry",
+        variants: Optional[Sequence[VariantSpec]] = None,
+        warm: bool = True,
+    ) -> List[SweepEntry]:
+        """Run every problem under every variant (problem-major order).
+
+        ``problems`` is an iterable of problem sources, or ``"registry"`` /
+        ``"all"`` / ``None`` for the full benchmark registry.  ``variants``
+        default to a single base-config run.  With ``warm`` (the default)
+        all cells share this session's memo, store and snapshot recordings
+        -- a benchmark's variants run back to back, so e.g. a Figure 8
+        precision sweep reuses the recordings its first variant captured.
+        ``warm=False`` isolates every cell in a throwaway session with a
+        freshly built problem (and no store): fully cold measurements, as
+        the Figure 7 guidance-mode comparison requires.
+        """
+
+        self._check_open()
+        sources = self._resolve_sources(problems)
+        named_variants = self._normalize_variants(variants)
+        entries: List[SweepEntry] = []
+        for source in sources:
+            benchmark = self._as_benchmark(source)
+            for name, spec in named_variants:
+                variant_config = self._variant_config(spec, benchmark)
+                if warm:
+                    problem = self._resolve_problem(source)
+                    result = self.run(problem, config=variant_config)
+                else:
+                    problem = (
+                        benchmark.build() if benchmark is not None else source
+                    )
+                    with SynthesisSession(variant_config) as cold:
+                        result = cold.run(problem, fresh_state=benchmark is None)
+                entries.append(
+                    SweepEntry(
+                        label=benchmark.id if benchmark is not None else problem.name,
+                        variant=name,
+                        result=result,
+                        problem=problem,
+                        benchmark=benchmark,
+                    )
+                )
+        return entries
+
+    # ------------------------------------------------------------------ resources
+
+    def problem_for(self, benchmark: Union[str, "BenchmarkSpec"]) -> SynthesisProblem:
+        """The session's built problem for a benchmark (built once, reused)."""
+
+        if isinstance(benchmark, str):
+            from repro.benchmarks import get_benchmark
+
+            benchmark = get_benchmark(benchmark)
+        problem = self._built.get(benchmark.id)
+        if problem is None:
+            problem = benchmark.build()
+            self._built[benchmark.id] = problem
+        return problem
+
+    def clear_memory_caches(self) -> None:
+        """Drop in-process memo state but keep the persistent store.
+
+        Simulates a fresh process for store tests and two-pass sweeps: the
+        evaluation memo and interner are cleared (and the store flushed), so
+        subsequent lookups miss in memory and are answered from disk.
+        Snapshot recordings, which a real new process would also rebuild
+        cheaply, are left in place on the problems.
+        """
+
+        self._check_open()
+        self.cache.clear_memory()
+        if self.store is not None:
+            self.store.flush()
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Flush the store and detach the session cache from its problems."""
+
+        if self._closed:
+            return
+        for problem in self._registered:
+            problem.unregister_cache(self.cache)
+        self._registered.clear()
+        if self.store is not None:
+            self.store.flush()
+        self._closed = True
+
+    def __enter__(self) -> "SynthesisSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("SynthesisSession is closed")
+
+    # ------------------------------------------------------------------ internals
+
+    def _resolve_problem(self, source: ProblemSource) -> SynthesisProblem:
+        if isinstance(source, SynthesisProblem):
+            return source
+        return self.problem_for(source)
+
+    @staticmethod
+    def _as_benchmark(source: ProblemSource) -> Optional["BenchmarkSpec"]:
+        if isinstance(source, SynthesisProblem):
+            return None
+        if isinstance(source, str):
+            from repro.benchmarks import get_benchmark
+
+            return get_benchmark(source)
+        return source
+
+    def _resolve_sources(
+        self, problems: Union[str, Iterable[ProblemSource], None]
+    ) -> List[ProblemSource]:
+        if problems is None or (
+            isinstance(problems, str) and problems in ("registry", "all")
+        ):
+            from repro.benchmarks import all_benchmarks
+
+            return list(all_benchmarks())
+        if isinstance(problems, str):
+            return [problems]
+        return list(problems)
+
+    def _normalize_variants(
+        self, variants: Optional[Sequence[VariantSpec]]
+    ) -> List[Tuple[str, Union[SynthConfig, Mapping[str, Any]]]]:
+        if not variants:
+            return [("base", {})]
+        named: List[Tuple[str, Union[SynthConfig, Mapping[str, Any]]]] = []
+        for i, variant in enumerate(variants):
+            if isinstance(variant, tuple):
+                name, spec = variant
+            elif isinstance(variant, SynthConfig):
+                name, spec = f"variant{i}", variant
+            elif isinstance(variant, Mapping):
+                name = (
+                    ",".join(f"{k}={v}" for k, v in variant.items())
+                    if variant
+                    else "base"
+                )
+                spec = variant
+            else:
+                raise TypeError(f"unsupported sweep variant {variant!r}")
+            named.append((name, spec))
+        return named
+
+    def _variant_config(
+        self,
+        spec: Union[SynthConfig, Mapping[str, Any]],
+        benchmark: Optional["BenchmarkSpec"],
+    ) -> SynthConfig:
+        if isinstance(spec, SynthConfig):
+            config = spec
+        else:
+            config = replace(self.config, **dict(spec)) if spec else self.config
+        if benchmark is not None:
+            config = benchmark.make_config(config)
+        return config
+
+    def _at_precision(
+        self, problem: SynthesisProblem, precision: str
+    ) -> SynthesisProblem:
+        """The problem itself, or a warm derived copy at ``precision``.
+
+        The derived copy coarsens the class table but *shares* the
+        original's spec list, database, snapshot manager and cache
+        registration list, so outcomes memoized per precision coexist and
+        the snapshot recordings (which are precision-independent: they
+        capture candidate-free pre-invoke state) are replayed instead of
+        rebuilt.  This is the warm rework of the old ``_with_precision``
+        rebuild that dropped every warm resource.
+        """
+
+        if problem.class_table.effect_precision == precision:
+            return problem
+        key = (id(problem), precision)
+        cached = self._derived.get(key)
+        if cached is not None and cached[0] is problem:
+            return cached[1]
+        derived = replace(
+            problem, class_table=problem.class_table.coarsened(precision)
+        )
+        derived._caches = problem._caches
+        derived._state_manager = problem.state_manager()
+        self._derived[key] = (problem, derived)
+        return derived
+
+    def _state_for(
+        self, problem: SynthesisProblem, config: SynthConfig, fresh: bool
+    ) -> Optional["StateManager"]:
+        if not config.snapshot_state:
+            return None
+        if fresh:
+            if problem.database is None:
+                return None
+            from repro.synth.state import StateManager
+
+            return StateManager(problem.database)
+        return problem.state_manager()
+
+    def _register(self, problem: SynthesisProblem) -> None:
+        if all(problem is not seen for seen in self._registered):
+            problem.register_cache(self.cache)
+            self._registered.append(problem)

@@ -41,7 +41,11 @@ of setup is inherently undetectable: pure control flow on the candidate's
 result after the invoke (``x = ctx.invoke(a); if x is None: raise``) leaves
 no observable trace during the recording pass, so such specs must not rely
 on replay -- this is part of the determinism contract the ``database``
-opt-in asserts, and the reason ``bench_state.py --check`` exists.  Restores and
+opt-in asserts, and the reason ``bench_state.py --check`` exists.  The
+opt-in ``SynthConfig.verify_recordings`` debug mode audits that contract at
+runtime: every Nth replay of a recorded spec re-runs the full reset+setup
+under a fresh recorder and diffs what it captured against the recording,
+raising :class:`NondeterministicSetupError` on divergence.  Restores and
 rebuilds surface in ``SearchStats``/Table 1, and ``benchmarks/bench_state.py
 --check`` gates on snapshot-on and snapshot-off runs synthesizing identical
 programs.
@@ -75,6 +79,17 @@ def _safely_equal(left: Any, right: Any) -> bool:
         return False
 
 
+class NondeterministicSetupError(RuntimeError):
+    """A ``verify_recordings`` pass caught a setup violating determinism.
+
+    Raised when re-recording a spec's setup produced a different pre-invoke
+    database snapshot, different invoke arguments or different scratch state
+    than the stored recording -- i.e. the setup depends on something outside
+    the problem baseline, breaking the ``define(..., database=...)`` replay
+    contract.
+    """
+
+
 @dataclass
 class StateStats:
     """Counters describing one :class:`StateManager`'s work."""
@@ -88,6 +103,9 @@ class StateStats:
     #: Specs whose setup could not be recorded (they keep full replays).
     unreplayable: int = 0
     invalidations: int = 0
+    #: ``verify_recordings`` passes that re-recorded a setup and found it
+    #: deterministic (a mismatch raises instead of counting).
+    verifications: int = 0
 
     def copy(self) -> "StateStats":
         return StateStats(**self.as_dict())
@@ -101,6 +119,7 @@ class StateStats:
             captures=self.captures - before.captures,
             unreplayable=self.unreplayable - before.unreplayable,
             invalidations=self.invalidations - before.invalidations,
+            verifications=self.verifications - before.verifications,
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -110,6 +129,7 @@ class StateStats:
             "captures": self.captures,
             "unreplayable": self.unreplayable,
             "invalidations": self.invalidations,
+            "verifications": self.verifications,
         }
 
 
@@ -188,12 +208,17 @@ class StateManager:
     problem -- including repeated benchmark-registry runs.
     """
 
-    def __init__(self, database: "Database") -> None:
+    def __init__(self, database: "Database", verify_every: int = 0) -> None:
         self.database = database
+        #: When > 0, every Nth replay of a recorded spec runs a verification
+        #: pass instead (full reset+setup, diffed against the recording);
+        #: set from ``SynthConfig.verify_recordings`` by the synthesizer.
+        self.verify_every = verify_every
         self.stats = StateStats()
         self._baseline: Optional[Dict[str, Any]] = None
         self._recordings: Dict["Spec", SpecRecording] = {}
         self._unreplayable: Set["Spec"] = set()
+        self._replay_counts: Dict["Spec", int] = {}
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -203,6 +228,7 @@ class StateManager:
         self._baseline = None
         self._recordings.clear()
         self._unreplayable.clear()
+        self._replay_counts.clear()
         self.stats.invalidations += 1
 
     def recording_for(self, spec: "Spec") -> Optional[SpecRecording]:
@@ -243,6 +269,11 @@ class StateManager:
 
         recording = self._recordings.get(spec)
         if recording is not None:
+            if self.verify_every > 0:
+                count = self._replay_counts.get(spec, 0) + 1
+                self._replay_counts[spec] = count
+                if count % self.verify_every == 0:
+                    return self._verification_pass(problem, spec, recording)
             self.stats.restores += 1
             self.database.restore(recording.snapshot)
             # One joint deep copy so objects shared between the scratch
@@ -273,6 +304,55 @@ class StateManager:
             self._finalize(spec, ctx, recorder)
 
         return record
+
+    def _verification_pass(
+        self, problem: "SynthesisProblem", spec: "Spec", recording: SpecRecording
+    ) -> Callable[["SpecContext"], None]:
+        """A full reset+setup run diffed against the stored recording.
+
+        The opt-in ``verify_recordings`` debug mode: instead of replaying,
+        restore the baseline and run the real setup under a fresh recorder,
+        then compare what it captured *before the invoke* (database
+        snapshot, invoke args, scratch state -- all candidate-independent)
+        with the recording.  A mismatch means the setup depends on state
+        outside the baseline and raises
+        :class:`NondeterministicSetupError`; replay would silently evaluate
+        candidates against the wrong state.
+        """
+
+        self.stats.rebuilds += 1
+        self.restore_baseline(problem)
+
+        def verify(ctx: "SpecContext") -> None:
+            recorder = _Recorder(self.database)
+            ctx._recorder = recorder
+            try:
+                spec.setup(ctx)
+            finally:
+                ctx._recorder = None
+            if recorder.capture_failed or recorder.invokes != 1:
+                raise NondeterministicSetupError(
+                    f"spec {spec.name!r}: setup was recorded as replayable but "
+                    f"now invoked {recorder.invokes} time(s)"
+                )
+            if not _safely_equal(recorder.snapshot, recording.snapshot):
+                raise NondeterministicSetupError(
+                    f"spec {spec.name!r}: pre-invoke database state diverged "
+                    "from its recording (nondeterministic setup)"
+                )
+            if not _safely_equal(recorder.args, recording.args):
+                raise NondeterministicSetupError(
+                    f"spec {spec.name!r}: invoke arguments diverged from their "
+                    "recording (nondeterministic setup)"
+                )
+            if not _safely_equal(recorder.state, recording.state):
+                raise NondeterministicSetupError(
+                    f"spec {spec.name!r}: scratch state diverged from its "
+                    "recording (nondeterministic setup)"
+                )
+            self.stats.verifications += 1
+
+        return verify
 
     def _finalize(self, spec: "Spec", ctx: "SpecContext", recorder: _Recorder) -> None:
         """Decide whether the completed recording pass is replayable."""

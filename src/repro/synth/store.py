@@ -1,0 +1,501 @@
+"""A persistent, content-hash-keyed spec-outcome store.
+
+The in-memory memo of :mod:`repro.synth.cache` dies with the process, but
+the paper's evaluation is a long sequence of *related* processes: Table 1
+medians, the Figure 7 guidance sweep and the Figure 8 precision sweep all
+re-execute the same ``(program, spec)`` pairs run after run.  This module
+persists spec and guard outcomes to disk so a later process -- or a later
+pass of the same :class:`~repro.synth.session.SynthesisSession` after its
+memory caches were dropped -- answers them without re-executing
+``reset + setup + candidate``.
+
+Keys are content hashes, not object identities, so they survive process
+boundaries:
+
+* ``program_hash`` -- SHA-256 of the candidate's pretty-printed source
+  (deterministic for structurally equal ASTs);
+* ``spec_hash`` -- SHA-256 over the spec's name, the bytecode of its setup
+  and postcondition closures (recursively, covering nested lambdas), and the
+  owning problem's fingerprint (name, signature, constants and the class
+  table's method/effect fingerprint).  Changing a benchmark definition or a
+  library annotation therefore changes the hash, so entries recorded against
+  the old definition become unreachable -- stale by construction;
+* ``effect_precision`` -- the Figure 8 annotation level, since an outcome's
+  captured effects depend on it.
+
+What is stored is exactly what the search consumes (``ok``,
+``passed_asserts`` and a failed assertion's read/write effects -- the
+``err(e_r, e_w)`` of the paper's extended semantics -- or the guard's
+truthiness); result values and exception objects are not persisted, so a
+store-served :class:`~repro.synth.goal.SpecOutcome` carries ``value=None``.
+This is sufficient for synthesis to proceed identically: the search branches
+only on ``ok`` / ``passed_asserts`` / the failure's read effect.
+
+The backing format is a single JSON document (``{"version", "entries"}``)
+written atomically (temp file + ``os.replace``).  A corrupted file, a file
+with a different schema version, or an individual malformed entry is
+silently ignored and counted in :class:`StoreStats`; the store never raises
+on bad persisted data.
+
+Closures that capture mutable out-of-band state (beyond what the problem
+fingerprint covers) hash equal even when that state differs; like the
+snapshot subsystem's determinism contract, using a store asserts that the
+benchmark definitions determine the spec behavior.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import types
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro.interp.errors import AssertionFailure, SynRuntimeError
+from repro.lang.effects import Effect, EffectPair, Region
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lang import ast as A
+    from repro.synth.goal import Spec, SpecOutcome, SynthesisProblem
+
+#: Bump when the entry payload shape changes; older files are ignored whole.
+STORE_VERSION = 1
+
+#: Sentinel distinguishing "no entry" from a stored ``None`` guard truthiness.
+STORE_MISS = object()
+
+
+@dataclass
+class StoreStats:
+    """File- and entry-level counters for one :class:`SpecOutcomeStore`."""
+
+    #: Entries loaded from disk at open time (after dropping malformed ones).
+    loaded: int = 0
+    #: Persisted entries dropped at load: wrong shape, unknown kind.
+    stale_dropped: int = 0
+    #: Whether the backing file existed but could not be parsed (the store
+    #: then starts empty; the corrupt file is overwritten on flush).
+    corrupt_file: bool = False
+    writes: int = 0
+    flushes: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "loaded": self.loaded,
+            "stale_dropped": self.stale_dropped,
+            "corrupt_file": self.corrupt_file,
+            "writes": self.writes,
+            "flushes": self.flushes,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Effect / outcome (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def _effect_to_json(effect: Effect) -> Dict[str, object]:
+    if effect.is_star:
+        return {"star": True}
+    # region is None for class-level effects (``A.*``), so the sort key must
+    # not compare None against column names.
+    return {
+        "regions": sorted(
+            ([region.cls, region.region] for region in effect.regions),
+            key=lambda entry: (entry[0], entry[1] or ""),
+        )
+    }
+
+
+def _effect_from_json(data: Any) -> Effect:
+    if not isinstance(data, dict):
+        raise ValueError("effect payload must be a dict")
+    if data.get("star"):
+        return Effect.star()
+    regions = data.get("regions", [])
+    if not isinstance(regions, list):
+        raise ValueError("effect regions must be a list")
+    atoms = []
+    for entry in regions:
+        cls, region = entry
+        if not isinstance(cls, str) or not (region is None or isinstance(region, str)):
+            raise ValueError("malformed effect region")
+        atoms.append(Region(cls, region))
+    return Effect(frozenset(atoms))
+
+
+def outcome_to_json(outcome: "SpecOutcome") -> Optional[Dict[str, object]]:
+    """The JSON payload for a spec outcome, or ``None`` if unserializable.
+
+    Only the fields the search consumes are kept; ``value`` and exception
+    objects are dropped (see the module docstring).
+    """
+
+    payload: Dict[str, object] = {
+        "v": STORE_VERSION,
+        "ok": bool(outcome.ok),
+        "passed": int(outcome.passed_asserts),
+    }
+    if outcome.ok:
+        return payload
+    if outcome.failure is not None:
+        payload["fail"] = {
+            "read": _effect_to_json(outcome.failure.read_effect),
+            "write": _effect_to_json(outcome.failure.write_effect),
+            "msg": outcome.failure.message,
+        }
+    elif outcome.error is not None:
+        payload["error"] = f"{type(outcome.error).__name__}: {outcome.error}"
+    return payload
+
+
+def outcome_from_json(payload: Dict[str, object]) -> "SpecOutcome":
+    """Rebuild a :class:`~repro.synth.goal.SpecOutcome` from its payload.
+
+    Raises on malformed payloads (callers treat that as a stale entry).
+    """
+
+    from repro.synth.goal import SpecOutcome
+
+    ok = payload["ok"]
+    passed = payload["passed"]
+    if not isinstance(ok, bool) or not isinstance(passed, int):
+        raise ValueError("malformed outcome payload")
+    if ok:
+        return SpecOutcome(ok=True, passed_asserts=passed)
+    fail = payload.get("fail")
+    if fail is not None:
+        if not isinstance(fail, dict):
+            raise ValueError("malformed failure payload")
+        failure = AssertionFailure(
+            EffectPair(
+                _effect_from_json(fail["read"]), _effect_from_json(fail["write"])
+            ),
+            fail.get("msg"),
+        )
+        return SpecOutcome(ok=False, passed_asserts=passed, failure=failure)
+    error = payload.get("error")
+    return SpecOutcome(
+        ok=False,
+        passed_asserts=passed,
+        error=SynRuntimeError(f"[replayed from store] {error}"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Content hashing
+# ---------------------------------------------------------------------------
+
+
+def _hash_text(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8", "backslashreplace"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _code_fingerprint(obj: Any, out: list) -> None:
+    """Accumulate a stable fingerprint of a callable's compiled code.
+
+    Recurses into nested code objects (lambdas and inner functions defined in
+    the setup/postcond bodies) so their bodies participate.  Captured cell
+    *values* are deliberately excluded -- they are process-local objects (app
+    substrates, model classes) whose identity the problem fingerprint covers.
+    """
+
+    if isinstance(obj, types.CodeType):
+        out.append(obj.co_name)
+        out.append(obj.co_code.hex())
+        out.append(repr(obj.co_names))
+        out.append(repr(obj.co_varnames))
+        out.append(repr(obj.co_freevars))
+        for const in obj.co_consts:
+            _code_fingerprint(const, out)
+        return
+    code = getattr(obj, "__code__", None)
+    if code is not None:
+        _code_fingerprint(code, out)
+        return
+    out.append(repr(obj))
+
+
+def _constant_label(value: Any) -> str:
+    if isinstance(value, type):
+        return f"class:{value.__name__}"
+    return repr(value)
+
+
+def problem_fingerprint(problem: "SynthesisProblem") -> str:
+    """A content hash of everything spec outcomes may depend on.
+
+    Covers the goal (name, signature, constants) and the class table's
+    method/effect fingerprint -- but *not* the effect precision, which is a
+    separate key component so one problem's precision variants share spec
+    hashes.
+    """
+
+    reset_parts: list = []
+    _code_fingerprint(problem.reset, reset_parts)
+    return _hash_text(
+        problem.name,
+        repr(problem.arg_types),
+        repr(problem.ret_type),
+        ",".join(_constant_label(c) for c in problem.constants),
+        problem.class_table.fingerprint(),
+        *reset_parts,
+    )
+
+
+def spec_hash(problem_fp: str, spec: "Spec") -> str:
+    """Content hash of one spec under its problem fingerprint."""
+
+    parts: list = [problem_fp, spec.name]
+    _code_fingerprint(spec.setup, parts)
+    _code_fingerprint(spec.postcond, parts)
+    return _hash_text(*parts)
+
+
+def program_hash(program: "A.Node") -> str:
+    """Content hash of a candidate program (its pretty-printed source)."""
+
+    from repro.lang.pretty import pretty_block
+
+    return _hash_text(pretty_block(program))
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+class SpecOutcomeStore:
+    """JSON-backed persistent memo of spec and guard outcomes.
+
+    One store is owned by a :class:`~repro.synth.session.SynthesisSession`
+    (or opened standalone) and attached to the session's
+    :class:`~repro.synth.cache.SynthCache`, which consults it on in-memory
+    misses and writes every executed outcome through.  ``flush`` persists
+    dirty entries atomically; ``close`` flushes and detaches.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self.stats = StoreStats()
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
+        self._closed = False
+        # Hash memos: fingerprinting a problem walks the class table, spec
+        # hashing walks closure bytecode and program hashing pretty-prints
+        # the candidate, so each is computed once.  Problems are keyed by
+        # id() with a strong reference so ids cannot be recycled; programs
+        # are keyed structurally (their hashes are cached per instance), so
+        # the lookup and the write-through of one evaluation share one
+        # pretty-print.
+        self._problem_fps: Dict[int, Tuple["SynthesisProblem", str]] = {}
+        self._spec_hashes: Dict[Tuple[str, "Spec"], str] = {}
+        self._program_hashes: Dict["A.Node", str] = {}
+        self._load()
+
+    # ------------------------------------------------------------------ opening
+
+    @staticmethod
+    def open(store: "SpecOutcomeStore | str | os.PathLike | None") -> Optional["SpecOutcomeStore"]:
+        """Coerce a path (or an existing store, or ``None``) into a store."""
+
+        if store is None or isinstance(store, SpecOutcomeStore):
+            return store
+        return SpecOutcomeStore(store)
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError):
+            self.stats.corrupt_file = True
+            return
+        if not isinstance(data, dict) or data.get("version") != STORE_VERSION:
+            # A future (or ancient) schema: ignore wholesale rather than
+            # misread entries recorded under different rules.
+            self.stats.corrupt_file = True
+            return
+        entries = data.get("entries")
+        if not isinstance(entries, dict):
+            self.stats.corrupt_file = True
+            return
+        for key, value in entries.items():
+            if (
+                isinstance(key, str)
+                and isinstance(value, dict)
+                and value.get("v") == STORE_VERSION
+                and value.get("kind") in ("spec", "guard")
+            ):
+                self._entries[key] = value
+            else:
+                self.stats.stale_dropped += 1
+        self.stats.loaded = len(self._entries)
+
+    # ------------------------------------------------------------------ keys
+
+    def _problem_fp(self, problem: "SynthesisProblem") -> str:
+        entry = self._problem_fps.get(id(problem))
+        if entry is None:
+            entry = (problem, problem_fingerprint(problem))
+            self._problem_fps[id(problem)] = entry
+        return entry[1]
+
+    def _spec_hash(self, problem: "SynthesisProblem", spec: "Spec") -> str:
+        fp = self._problem_fp(problem)
+        cached = self._spec_hashes.get((fp, spec))
+        if cached is None:
+            cached = spec_hash(fp, spec)
+            self._spec_hashes[(fp, spec)] = cached
+        return cached
+
+    def _program_hash(self, program: "A.Node") -> str:
+        cached = self._program_hashes.get(program)
+        if cached is None:
+            cached = program_hash(program)
+            self._program_hashes[program] = cached
+        return cached
+
+    def _key(
+        self,
+        kind: str,
+        problem: "SynthesisProblem",
+        program: "A.Node",
+        spec: "Spec",
+    ) -> str:
+        return ":".join(
+            (
+                self._program_hash(program),
+                self._spec_hash(problem, spec),
+                problem.class_table.effect_precision,
+                kind,
+            )
+        )
+
+    # ------------------------------------------------------------------ spec API
+
+    def load_spec(
+        self, problem: "SynthesisProblem", program: "A.Node", spec: "Spec"
+    ) -> Optional["SpecOutcome"]:
+        """The persisted outcome for ``(program, spec)``, or ``None``."""
+
+        entry = self._entries.get(self._key("spec", problem, program, spec))
+        if entry is None:
+            return None
+        try:
+            return outcome_from_json(entry)
+        except (KeyError, ValueError, TypeError):
+            self.stats.stale_dropped += 1
+            return None
+
+    def save_spec(
+        self,
+        problem: "SynthesisProblem",
+        program: "A.Node",
+        spec: "Spec",
+        outcome: "SpecOutcome",
+    ) -> None:
+        payload = outcome_to_json(outcome)
+        if payload is None:  # pragma: no cover - every outcome serializes today
+            return
+        payload["kind"] = "spec"
+        self._entries[self._key("spec", problem, program, spec)] = payload
+        self._dirty = True
+        self.stats.writes += 1
+
+    # ------------------------------------------------------------------ guard API
+
+    def load_guard(
+        self, problem: "SynthesisProblem", program: "A.Node", spec: "Spec"
+    ) -> Any:
+        """Persisted guard truthiness (``True``/``False``/``None`` for a
+        crashing guard), or the module sentinel :data:`STORE_MISS`."""
+
+        entry = self._entries.get(self._key("guard", problem, program, spec))
+        if entry is None:
+            return STORE_MISS
+        truth = entry.get("truth", STORE_MISS)
+        if truth is STORE_MISS or not (truth is None or isinstance(truth, bool)):
+            self.stats.stale_dropped += 1
+            return STORE_MISS
+        return truth
+
+    def save_guard(
+        self,
+        problem: "SynthesisProblem",
+        program: "A.Node",
+        spec: "Spec",
+        truthiness: Optional[bool],
+    ) -> None:
+        self._entries[self._key("guard", problem, program, spec)] = {
+            "v": STORE_VERSION,
+            "kind": "guard",
+            "truth": truthiness,
+        }
+        self._dirty = True
+        self.stats.writes += 1
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def invalidate(self) -> None:
+        """Drop every entry (in memory and, at the next flush, on disk).
+
+        Called when a problem's baseline state changed *out of band*
+        (:meth:`SynthesisProblem.invalidate_caches`): persisted outcomes are
+        then stale but content hashes cannot tell, so the store wipes
+        conservatively.  Rebinding the reset closure needs no wipe -- the
+        closure participates in the problem fingerprint, so old entries
+        become unreachable by construction.
+        """
+
+        if self._entries:
+            self._entries.clear()
+            self._dirty = True
+        self._problem_fps.clear()
+        self._spec_hashes.clear()
+        self._program_hashes.clear()
+
+    def flush(self) -> None:
+        """Atomically persist the entries (no-op when nothing changed)."""
+
+        if not self._dirty or self._closed:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        payload = json.dumps(
+            {"version": STORE_VERSION, "entries": self._entries},
+            separators=(",", ":"),
+        )
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+        self.stats.flushes += 1
+
+    def close(self) -> None:
+        self.flush()
+        self._closed = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __enter__(self) -> "SpecOutcomeStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

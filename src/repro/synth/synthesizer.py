@@ -1,6 +1,6 @@
 """The top-level synthesis pipeline.
 
-:func:`synthesize` realises the full RbSyn loop:
+:func:`run_synthesis` realises the full RbSyn loop:
 
 1. for every spec, search for an expression passing it (Algorithm 2),
    first re-trying expressions that already solved earlier specs (Section 4,
@@ -10,10 +10,17 @@
    (Algorithm 1), synthesizing and reusing branch conditions as needed;
 3. report the result together with timing and search statistics, which the
    evaluation harnesses turn into Table 1 / Figures 7 and 8.
+
+The public entry point is :class:`repro.synth.session.SynthesisSession`,
+which owns the warm resources (evaluation memo, snapshot managers, the
+persistent spec-outcome store) and calls :func:`run_synthesis` with them.
+:func:`synthesize` remains as a deprecated one-shot shim over a throwaway
+session.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -81,27 +88,61 @@ def synthesize(
     cache: Optional[SynthCache] = None,
     state: Optional[StateManager] = None,
 ) -> SynthesisResult:
-    """Synthesize a method satisfying every spec of ``problem``.
+    """Deprecated one-shot entry point; use
+    :class:`repro.synth.session.SynthesisSession` instead.
 
-    ``cache`` and ``state`` allow a caller (e.g. the benchmark runner) to
-    share one evaluation memo / snapshot manager across several runs on the
-    same problem; by default a per-run cache is created and the problem's
-    own state manager is used (enabled via ``config.snapshot_state`` and
-    available only when the problem carries its database).
+    Without explicit resources this creates a throwaway session for the
+    single run (so precision overrides still share the problem's snapshot
+    manager).  Passing ``cache``/``state`` keeps the legacy explicit
+    resource threading for callers that manage their own warm state.
     """
 
+    warnings.warn(
+        "synthesize() is deprecated; use repro.synth.session.SynthesisSession"
+        " (session.run / session.sweep)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     config = config or SynthConfig()
+    if cache is None and state is None:
+        from repro.synth.session import SynthesisSession
+
+        with SynthesisSession(config) as session:
+            return session.run(problem)
     if config.effect_precision != problem.class_table.effect_precision:
         problem = _with_precision(problem, config.effect_precision)
-    budget = Budget(config.timeout_s)
-    stats = SearchStats()
-    external_cache = cache is not None
-    cache = cache if cache is not None else SynthCache.from_config(config)
-    problem.register_cache(cache)
     if state is None and config.snapshot_state:
         state = problem.state_manager()
     elif not config.snapshot_state:
         state = None
+    return run_synthesis(
+        problem, config, cache=cache, state=state, external_cache=cache is not None
+    )
+
+
+def run_synthesis(
+    problem: SynthesisProblem,
+    config: SynthConfig,
+    cache: Optional[SynthCache] = None,
+    state: Optional[StateManager] = None,
+    external_cache: bool = False,
+) -> SynthesisResult:
+    """Synthesize a method satisfying every spec of ``problem``.
+
+    The engine core: assumes ``problem``'s class table is already at
+    ``config.effect_precision`` (the session derives precision variants so
+    warm resources survive; see ``SynthesisSession.run``).  ``cache`` and
+    ``state`` are the warm resources to use; with ``external_cache`` the
+    cache outlives this run (it stays registered on the problem and the
+    result reports counter deltas only).
+    """
+
+    budget = Budget(config.timeout_s)
+    stats = SearchStats()
+    cache = cache if cache is not None else SynthCache.from_config(config)
+    problem.register_cache(cache)
+    if state is not None:
+        state.verify_every = config.verify_recordings
     run = _RunCounters(problem, cache, state, external_cache)
     solutions: List[SpecSolution] = []
 
@@ -199,6 +240,8 @@ class _RunCounters:
         result.stats.cache_misses = cache_stats.misses
         result.stats.cache_redundant = cache_stats.redundant
         result.stats.cache_evictions = cache_stats.evictions
+        result.stats.store_hits = cache_stats.store_hits
+        result.stats.store_misses = cache_stats.store_misses
         if self.state is not None and self.state_before is not None:
             state_stats = self.state.stats.since(self.state_before)
             result.state_stats = state_stats

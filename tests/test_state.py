@@ -91,6 +91,61 @@ def test_snapshot_globals_are_independent():
 
 
 # ---------------------------------------------------------------------------
+# Copy-on-write globals (atomic values share the dict with the snapshot)
+# ---------------------------------------------------------------------------
+
+
+def test_atomic_globals_are_shared_cow_with_snapshot():
+    db = Database()
+    db.set_global("mode", "fast")
+    snap = db.snapshot()
+    # All-atomic globals: the snapshot adopts the live dict by reference...
+    assert snap["globals"] is db._globals
+    # ...and the next write un-shares it instead of corrupting the snapshot.
+    db.set_global("mode", "slow")
+    assert snap["globals"] == {"mode": "fast"}
+    assert db.get_global("mode") == "slow"
+
+
+def test_restore_adopts_globals_cow_and_survives_writes():
+    db = Database()
+    db.set_global("a", 1)
+    snap = db.snapshot()
+    db.set_global("a", 2)
+    db.set_global("b", 3)
+    db.restore(snap)
+    assert db.get_global("a") == 1 and db.get_global("b") is None
+    db.set_global("b", 4)
+    db.delete_global("a")
+    # The snapshot stays valid across any number of restores.
+    db.restore(snap)
+    assert db.get_global("a") == 1 and db.get_global("b") is None
+    assert snap["globals"] == {"a": 1}
+
+
+def test_reset_does_not_corrupt_shared_globals_snapshot():
+    db = Database()
+    db.set_global("a", 1)
+    snap = db.snapshot()
+    db.reset()
+    assert db.get_global("a") is None
+    assert snap["globals"] == {"a": 1}
+    db.restore(snap)
+    assert db.get_global("a") == 1
+
+
+def test_mutable_global_values_keep_eager_snapshot_copies():
+    db = Database()
+    db.set_global("tags", ["x"])
+    snap = db.snapshot()
+    # A mutable value could be mutated in place through get_global, which
+    # dict-level sharing cannot see: the legacy eager copy must kick in.
+    assert snap["globals"] is not db._globals
+    db.get_global("tags").append("y")
+    assert snap["globals"]["tags"] == ["x"]
+
+
+# ---------------------------------------------------------------------------
 # Deep-copied row boundaries (no aliasing of nested values)
 # ---------------------------------------------------------------------------
 
@@ -544,3 +599,83 @@ def test_warm_runner_shares_state_across_runs():
     cold = run_benchmark(benchmark, config, runs=2, warm_state=False)
     assert cold.success
     assert cold.reset_replays == 2
+
+
+# ---------------------------------------------------------------------------
+# verify_recordings: the opt-in determinism audit
+# ---------------------------------------------------------------------------
+
+
+def test_verify_recordings_passes_on_deterministic_setup():
+    problem = _blog_problem()
+    state = problem.state_manager()
+    state.verify_every = 1  # audit every would-be replay
+    program = _find_user_program(problem)
+    spec = problem.specs[0]
+
+    recorded = evaluate_spec(problem, program, spec, state=state)
+    verified = evaluate_spec(problem, program, spec, state=state)
+    assert recorded.ok and verified.ok
+    assert state.stats.verifications == 1
+    # The verification pass is a full rebuild, not a restore.
+    assert state.stats.restores == 0
+    assert state.stats.rebuilds == 2
+
+
+def test_verify_recordings_interval_mixes_replays_and_audits():
+    problem = _blog_problem()
+    state = problem.state_manager()
+    state.verify_every = 2  # every second replay is audited
+    program = _find_user_program(problem)
+    spec = problem.specs[0]
+
+    for _ in range(5):  # 1 recording + 4 replay slots
+        assert evaluate_spec(problem, program, spec, state=state).ok
+    assert state.stats.verifications == 2
+    assert state.stats.restores == 2
+
+
+def test_verify_recordings_catches_nondeterministic_setup():
+    from repro.synth.state import NondeterministicSetupError
+
+    app = build_blog_app()
+    User = app.models["User"]
+    problem = define(
+        "find_user",
+        "(Str) -> User",
+        consts=[User],
+        class_table=app.class_table,
+        reset=app.reset,
+        database=app.database,
+    )
+    calls = {"n": 0}
+
+    def setup(ctx):
+        # Violates the determinism contract: each pass seeds a different row.
+        calls["n"] += 1
+        User.create(name="N", username=f"user{calls['n']}")
+        ctx.invoke(f"user{calls['n']}")
+
+    def postcond(ctx, result):
+        ctx.assert_(lambda: result is not None)
+
+    problem.add_spec("nondeterministic seed", setup, postcond)
+    state = problem.state_manager()
+    state.verify_every = 1
+    program = _find_user_program(problem)
+    spec = problem.specs[0]
+
+    assert evaluate_spec(problem, program, spec, state=state).ok  # records
+    with pytest.raises(NondeterministicSetupError):
+        evaluate_spec(problem, program, spec, state=state)  # audits
+
+
+def test_verify_recordings_threaded_from_config():
+    from repro.synth.session import SynthesisSession
+
+    with SynthesisSession(SynthConfig(timeout_s=60)) as session:
+        result = session.run("S1", verify_recordings=2)
+        assert result.success
+        manager = session.problem_for("S1").state_manager()
+        assert manager.verify_every == 2
+        assert manager.stats.verifications > 0
