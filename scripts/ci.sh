@@ -15,6 +15,12 @@
 # persistent spec-outcome store (repro.synth.store): the first pass
 # populates it, the second pass -- a separate process -- must answer >= 1
 # spec execution from the store while still synthesizing identical programs.
+#
+# The parallel gates exercise repro.synth.parallel: a --jobs 2 smoke over a
+# small registry subset gated purely on program identity with the serial
+# run, then the full bench_parallel --check (default --jobs 4) which also
+# gates on the >= 1.5x wall-clock speedup target over the synthetic
+# registry.
 
 set -euo pipefail
 
@@ -62,4 +68,20 @@ python benchmarks/bench_cache.py \
     --min-store-hits 1 \
     --check
 
-echo "== ok: reports at $REPORT, $STATE_REPORT and $STORE_REPORT =="
+echo "== parallel identity smoke (--jobs 2) =="
+python benchmarks/bench_parallel.py \
+    --benchmarks S1 S4 S5 \
+    --jobs 2 \
+    --repeat 1 \
+    --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
+    --min-speedup 0 \
+    --check > /dev/null
+
+echo "== parallel speedup gate (--jobs 4) =="
+PARALLEL_REPORT="${CI_PARALLEL_REPORT:-bench_parallel_report.json}"
+python benchmarks/bench_parallel.py \
+    --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
+    --out "$PARALLEL_REPORT" \
+    --check
+
+echo "== ok: reports at $REPORT, $STATE_REPORT, $STORE_REPORT and $PARALLEL_REPORT =="

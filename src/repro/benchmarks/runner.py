@@ -99,6 +99,7 @@ def run_benchmark(
     runs: int = 1,
     warm_state: bool = True,
     session: Optional[SynthesisSession] = None,
+    parallel: int = 1,
 ) -> BenchmarkResult:
     """Run one benchmark ``runs`` times and collect Table 1 metrics.
 
@@ -112,12 +113,25 @@ def run_benchmark(
     isolated (cold) measurements; an external session is then ignored.
     Per-benchmark config overrides (e.g. a larger size bound) are applied on
     top of ``config`` either way.
+
+    ``parallel`` enables the worker pool of :mod:`repro.synth.parallel`:
+    warm runs fan each run's per-spec searches out across workers (through
+    the active session), and cold runs distribute the isolated repetitions
+    themselves over a throwaway pool.  Each repetition stays a fully cold
+    cell, but repetitions then run *concurrently*, so their wall-clock
+    includes co-scheduling contention: use ``parallel=1`` (the default)
+    when medians must be comparable to isolated serial runs (the paper's
+    Table 1 numbers); parallel cold runs trade that comparability for
+    throughput on multi-core hosts.
     """
 
     effective = benchmark.make_config(config)
     result = BenchmarkResult(benchmark=benchmark, config=effective)
+    jobs = max(int(parallel), 1)
 
     if not warm_state:
+        if jobs > 1 and runs > 1:
+            return _run_cold_parallel(benchmark, effective, runs, jobs, result)
         for _ in range(max(runs, 1)):
             problem = benchmark.build()
             result.specs = len(problem.specs)
@@ -139,7 +153,7 @@ def run_benchmark(
         result.lib_methods = problem.library_method_count()
         for _ in range(max(runs, 1)):
             start = time.perf_counter()
-            outcome = active.run(problem, config=effective)
+            outcome = active.run(problem, config=effective, parallel=jobs)
             elapsed = time.perf_counter() - start
             result.record(outcome, elapsed)
             if not outcome.success:
@@ -147,4 +161,31 @@ def run_benchmark(
     finally:
         if owns_session:
             active.close()
+    return result
+
+
+def _run_cold_parallel(
+    benchmark: BenchmarkSpec,
+    effective: SynthConfig,
+    runs: int,
+    jobs: int,
+    result: BenchmarkResult,
+) -> BenchmarkResult:
+    """Distribute a cold benchmark's isolated repetitions over a pool."""
+
+    from repro.synth.parallel import ParallelExecutor
+
+    problem = benchmark.build()
+    result.specs = len(problem.specs)
+    result.lib_methods = problem.library_method_count()
+    with ParallelExecutor(jobs, base_config=effective) as executor:
+        futures = [
+            executor.submit_cell(benchmark.id, effective, fresh=True, runs=1)
+            for _ in range(max(runs, 1))
+        ]
+        for future in futures:
+            payload = future.get()[0]
+            result.record(payload.to_result(problem), payload.elapsed_s)
+            if not payload.success:
+                break
     return result

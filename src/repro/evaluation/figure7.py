@@ -46,15 +46,21 @@ def run_figure7(
     benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
     timeout_s: float = 20.0,
     modes: Sequence[str] = MODES,
+    jobs: int = 1,
 ) -> List[Figure7Series]:
-    """Run every benchmark under every guidance mode."""
+    """Run every benchmark under every guidance mode.
+
+    ``jobs`` distributes the (benchmark, mode) cells over a worker pool
+    (:mod:`repro.synth.parallel`); every cell stays a fully isolated cold
+    run exactly as in the serial sweep.
+    """
 
     benchmarks = list(benchmarks) if benchmarks is not None else all_benchmarks()
     variants = [
         (mode, MODE_FACTORIES[mode](timeout_s=timeout_s)) for mode in modes
     ]
     series = {mode: Figure7Series(mode=mode) for mode in modes}
-    with SynthesisSession() as session:
+    with SynthesisSession(parallel=jobs) as session:
         for entry in session.sweep(benchmarks, variants, warm=False):
             series[entry.variant].times_s[entry.label] = (
                 entry.elapsed_s if entry.success else None
@@ -80,12 +86,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--timeout", type=float, default=float(os.environ.get("REPRO_TIMEOUT", 20.0))
     )
     parser.add_argument("--only", nargs="*", help="benchmark ids to run")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", 1)),
+        help="worker processes for the (benchmark, mode) cells",
+    )
     args = parser.parse_args(argv)
 
     benchmarks = all_benchmarks()
     if args.only:
         benchmarks = [b for b in benchmarks if b.id in set(args.only)]
-    series = run_figure7(benchmarks, timeout_s=args.timeout)
+    series = run_figure7(benchmarks, timeout_s=args.timeout, jobs=args.jobs)
     print(render(series, args.timeout))
     return 0
 

@@ -52,12 +52,15 @@ def run_figure8(
     precisions: Sequence[str] = PRECISIONS,
     warm: bool = True,
     session: Optional[SynthesisSession] = None,
+    jobs: int = 1,
 ) -> List[Figure8Row]:
     """Run every benchmark at every effect annotation precision.
 
     With ``warm`` (the default) one session's snapshot recordings are shared
     across a benchmark's precision variants; pass an external ``session`` to
-    extend sharing (e.g. a persistent store) across calls.
+    extend sharing (e.g. a persistent store) across calls.  ``jobs``
+    distributes the cells over the session's worker pool (warm cells are
+    then warm per worker; see :meth:`SynthesisSession.sweep`).
     """
 
     benchmarks = list(benchmarks) if benchmarks is not None else all_benchmarks()
@@ -75,7 +78,7 @@ def run_figure8(
         SynthConfig.full(timeout_s=timeout_s)
     )
     try:
-        for entry in active.sweep(benchmarks, variants, warm=warm):
+        for entry in active.sweep(benchmarks, variants, warm=warm, parallel=jobs):
             rows[entry.label].times_s[entry.variant] = (
                 entry.elapsed_s if entry.success else None
             )
@@ -98,7 +101,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "one warm session per benchmark",
     )
     parser.add_argument(
-        "--store", help="persist spec outcomes to this JSON store path"
+        "--store",
+        help="persist spec outcomes to this store path (suffix selects the "
+        "backend: .sqlite/.sqlite3/.db for SQLite, anything else JSON)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", 1)),
+        help="worker processes for the (benchmark, precision) cells",
     )
     args = parser.parse_args(argv)
 
@@ -109,7 +120,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         SynthConfig.full(timeout_s=args.timeout), store=args.store
     ) as session:
         rows = run_figure8(
-            benchmarks, timeout_s=args.timeout, warm=not args.cold, session=session
+            benchmarks,
+            timeout_s=args.timeout,
+            warm=not args.cold,
+            session=session,
+            jobs=args.jobs,
         )
     print(format_table([row.as_dict() for row in rows], ["id", "name", *PRECISIONS]))
     return 0

@@ -148,8 +148,17 @@ def run_table1(
     timeout_s: float = 30.0,
     mode_timeout_s: Optional[float] = None,
     modes: Sequence[str] = ("full",),
+    jobs: int = 1,
 ) -> List[Table1Row]:
-    """Run the Table 1 experiment and return one row per benchmark."""
+    """Run the Table 1 experiment and return one row per benchmark.
+
+    ``jobs`` enables the worker pool of :mod:`repro.synth.parallel`: the
+    cold timing repetitions of each benchmark are distributed over the pool
+    (every repetition stays a fully isolated cell, but concurrent
+    repetitions contend for cores, so keep ``jobs=1`` when medians must be
+    directly comparable to the paper's isolated serial runs), as are the
+    guidance-mode sweep cells.
+    """
 
     benchmarks = list(benchmarks) if benchmarks is not None else all_benchmarks()
     mode_timeout_s = mode_timeout_s if mode_timeout_s is not None else timeout_s
@@ -166,7 +175,9 @@ def run_table1(
         # state, deflating the median the table compares against the
         # paper's isolated-run numbers.  Warm sharing still applies within
         # each run and to the CI gates.
-        result = run_benchmark(benchmark, full_config, runs=runs, warm_state=False)
+        result = run_benchmark(
+            benchmark, full_config, runs=runs, warm_state=False, parallel=jobs
+        )
         row.specs = result.specs
         row.lib_methods = result.lib_methods
         row.success = result.success
@@ -189,7 +200,9 @@ def run_table1(
         ]
         if mode_variants:
             with SynthesisSession() as session:
-                for entry in session.sweep([benchmark], mode_variants, warm=False):
+                for entry in session.sweep(
+                    [benchmark], mode_variants, warm=False, parallel=jobs
+                ):
                     row.mode_medians[entry.variant] = (
                         entry.elapsed_s if entry.success else None
                     )
@@ -214,6 +227,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also run the T-only / E-only / unguided columns",
     )
     parser.add_argument("--only", nargs="*", help="benchmark ids to run")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", 1)),
+        help="worker processes for the timing repetitions and mode sweeps",
+    )
     args = parser.parse_args(argv)
 
     benchmarks = all_benchmarks()
@@ -227,6 +246,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         timeout_s=args.timeout,
         mode_timeout_s=args.mode_timeout,
         modes=modes,
+        jobs=args.jobs,
     )
 
     columns = ["id", "name", "specs", "asserts", "lib_meth", "time", "size", "paths",

@@ -462,6 +462,20 @@ def _install_hash_caching() -> None:
             return value
 
         cls.__hash__ = cached_hash  # type: ignore[assignment]
+        cls.__getstate__ = _memoless_state  # type: ignore[assignment]
+
+
+def _memoless_state(self) -> dict:
+    """Pickle state without the per-instance memos (``_hash`` etc.).
+
+    Nodes cross process boundaries in the parallel subsystem
+    (:mod:`repro.synth.parallel`); the cached structural hash is only valid
+    under the originating interpreter's string-hash seed, and the other
+    memos (``_node_count``, ``_first_hole``, ``_has_holes``) are cheap to
+    recompute, so only the real dataclass fields travel.
+    """
+
+    return {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
 
 
 _install_hash_caching()

@@ -29,6 +29,7 @@ from repro.synth.cache import CacheStats, SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.dsl import define
 from repro.synth.goal import Spec, SpecContext, SynthesisProblem, evaluate_spec
+from repro.synth.parallel import ParallelExecutor, run_synthesis_parallel
 from repro.synth.session import SweepEntry, SynthesisSession
 from repro.synth.state import (
     NondeterministicSetupError,
@@ -52,6 +53,8 @@ __all__ = [
     "StateStats",
     "SpecOutcomeStore",
     "StoreStats",
+    "ParallelExecutor",
+    "run_synthesis_parallel",
     "SweepEntry",
     "SynthesisSession",
     "SynthesisResult",

@@ -342,6 +342,59 @@ class SynthCache:
         key = self._key("guard", problem, program, spec)
         self._put(key, truthiness if self.enabled else _TRACKED)
 
+    # ------------------------------------------------------------------ seeding
+
+    def seed_spec(
+        self,
+        problem: "SynthesisProblem",
+        program: A.Node,
+        spec: "Spec",
+        outcome: Any,
+        write_through: bool = False,
+    ) -> None:
+        """Adopt an outcome another process executed (parallel absorption).
+
+        Puts the entry exactly as :meth:`store_spec` would -- including the
+        disabled-cache tracked-key bookkeeping, so redundancy counting stays
+        equivalent to a serial run -- but without touching any counter.
+        ``write_through`` additionally persists it to an attached store (used
+        when the executing worker had no store of its own, e.g. the JSON
+        backend whose document the owning session is the sole writer of).
+        ``outcome`` may be the module sentinel ``_TRACKED`` when absorbing a
+        disabled cache's key-tracking export.
+        """
+
+        if self.enabled and outcome is _TRACKED:
+            # A tracked key carries no outcome; seeding it into an enabled
+            # memo would serve the sentinel as a result.
+            return
+        if write_through and self.enabled and self.store is not None:
+            self.store.save_spec(problem, program, spec, outcome)
+        if not self.enabled and not self.track_redundancy:
+            return
+        key = self._key("spec", problem, program, spec)
+        self._put(key, outcome if self.enabled else _TRACKED)
+
+    def seed_guard(
+        self,
+        problem: "SynthesisProblem",
+        program: A.Node,
+        spec: "Spec",
+        truthiness: Any,
+        write_through: bool = False,
+    ) -> None:
+        """Adopt a guard truthiness another process executed (see
+        :meth:`seed_spec`)."""
+
+        if self.enabled and truthiness is _TRACKED:
+            return
+        if write_through and self.enabled and self.store is not None:
+            self.store.save_guard(problem, program, spec, truthiness)
+        if not self.enabled and not self.track_redundancy:
+            return
+        key = self._key("guard", problem, program, spec)
+        self._put(key, truthiness if self.enabled else _TRACKED)
+
     # ------------------------------------------------------------------ lifecycle
 
     def clear_memory(self) -> None:
@@ -376,3 +429,7 @@ class SynthCache:
 
 #: Re-exported miss sentinel for guard lookups.
 MISSING = _MISSING
+
+#: Re-exported tracked sentinel (disabled-cache key exports, see
+#: :mod:`repro.synth.parallel`).
+TRACKED = _TRACKED

@@ -66,6 +66,9 @@ class Merger:
         stats: Optional[SearchStats] = None,
         cache: Optional[SynthCache] = None,
         state: Optional[StateManager] = None,
+        executor: Optional[object] = None,
+        benchmark_id: Optional[str] = None,
+        worker_totals: Optional[object] = None,
     ) -> None:
         self.problem = problem
         self.config = config
@@ -77,6 +80,13 @@ class Merger:
         self.cache = cache if cache is not None else SynthCache.from_config(config)
         #: Snapshot manager shared with the searches (None disables replay).
         self.state = state
+        #: Optional :class:`~repro.synth.parallel.ParallelExecutor` (plus the
+        #: registry id workers rebuild the problem from): the initial
+        #: ``assign_guards`` syntheses -- independent until a non-trivial
+        #: guard is learned -- are then fanned out to the worker pool.
+        self.executor = executor
+        self.benchmark_id = benchmark_id
+        self.worker_totals = worker_totals
         self.encoder = GuardEncoder()
         #: Guards synthesized so far, reused across tuples (Section 4).
         self.known_guards: List[A.Node] = []
@@ -123,11 +133,81 @@ class Merger:
     def assign_guards(self, solutions: Sequence[SpecSolution]) -> List[SpecSolution]:
         """Initial guard for each tuple: truthy under its own specs' setups."""
 
+        solutions = list(solutions)
         assigned: List[SpecSolution] = []
+        if (
+            self.executor is not None
+            and self.benchmark_id is not None
+            and not self.known_guards
+            and len(solutions) > 1
+        ):
+            assigned, solutions = self._assign_guards_parallel(solutions)
         for solution in solutions:
             guard = self.synthesize_guard(solution.specs, ())
             assigned.append(solution.with_guard(guard if guard is not None else A.TRUE))
         return assigned
+
+    def _assign_guards_parallel(
+        self, solutions: List[SpecSolution]
+    ) -> Tuple[List[SpecSolution], List[SpecSolution]]:
+        """Fan the independent initial guard syntheses out to the pool.
+
+        With no guards learned yet, every tuple's ``synthesize_guard`` call
+        sees the same initial candidates (``[true]``), so the tasks are
+        independent and their results equal the serial ones.  The moment a
+        task returns a non-trivial guard, serial execution *would* have
+        offered it to the remaining tuples (Section 4 reuse) -- so the
+        remaining speculative results are discarded and those tuples are
+        returned for the serial loop to finish.  Returns
+        ``(assigned prefix, remaining solutions)``.
+        """
+
+        from repro.synth.goal import SynthesisTimeout
+        from repro.synth.parallel import absorb_memo
+
+        index_of = {spec: i for i, spec in enumerate(self.problem.specs)}
+        tasks = []
+        for solution in solutions:
+            indices = tuple(index_of.get(spec) for spec in solution.specs)
+            if any(index is None for index in indices):
+                # Specs outside the registry problem cannot be named to a
+                # worker; keep the whole phase serial.
+                return [], solutions
+            tasks.append(
+                self.executor.submit_guard(
+                    self.benchmark_id, self.config, indices, (), (A.TRUE,)
+                )
+            )
+        self.stats.parallel_tasks += len(tasks)
+
+        assigned: List[SpecSolution] = []
+        for position, (solution, future) in enumerate(zip(solutions, tasks)):
+            task = future.get()
+            self.stats.merge(task.stats)
+            self.cache.stats.merge(task.cache_stats)
+            if self.worker_totals is not None:
+                self.worker_totals.add(task)
+            absorb_memo(
+                self.cache,
+                self.problem,
+                task.memo,
+                write_through=not self.executor.workers_have_store,
+            )
+            if task.timed_out:
+                self.stats.timed_out = True
+                raise SynthesisTimeout("timeout while synthesizing a guard")
+            guard = task.guard
+            if guard is not None:
+                self.remember_guard(guard)
+            assigned.append(
+                solution.with_guard(guard if guard is not None else A.TRUE)
+            )
+            if self.known_guards:
+                # A learned guard changes the initial candidates of every
+                # later tuple; fall back to the serial loop for the rest.
+                self.stats.parallel_discarded += len(tasks) - position - 1
+                return assigned, solutions[position + 1 :]
+        return assigned, []
 
     # ------------------------------------------------------------------ rewriting
 

@@ -67,8 +67,26 @@ class SearchStats:
     state_restores: int = 0
     state_rebuilds: int = 0
     reset_replays: int = 0
+    # Cross-run solution reuse (the session's solution hints): specs whose
+    # search was skipped because the previous run's solution re-validated.
+    hint_reuses: int = 0
+    # Parallel-subsystem counters (repro.synth.parallel): tasks dispatched
+    # to the worker pool for this run, and speculative per-spec searches
+    # whose result was discarded because solution reuse covered the spec
+    # first (their work is NOT folded into the other counters, keeping the
+    # merged totals equal to a serial run's).
+    parallel_tasks: int = 0
+    parallel_discarded: int = 0
 
     def merge(self, other: "SearchStats") -> None:
+        """Fold another run's (or worker's) counters into this one.
+
+        Every numeric field must be aggregated here -- a field-completeness
+        test (``tests/test_parallel.py``) fails when a counter is added to
+        the dataclass without merge support, because the parallel subsystem
+        relies on merged worker counters matching serial totals.
+        """
+
         self.expansions += other.expansions
         self.evaluated += other.evaluated
         self.pushed += other.pushed
@@ -84,6 +102,16 @@ class SearchStats:
         self.state_restores += other.state_restores
         self.state_rebuilds += other.state_rebuilds
         self.reset_replays += other.reset_replays
+        self.hint_reuses += other.hint_reuses
+        self.parallel_tasks += other.parallel_tasks
+        self.parallel_discarded += other.parallel_discarded
+
+    def as_dict(self) -> dict:
+        """Every counter by field name (bench reports, completeness tests)."""
+
+        from dataclasses import fields
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class _WorkList:

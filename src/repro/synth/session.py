@@ -66,6 +66,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     import os
 
     from repro.benchmarks.registry import BenchmarkSpec
+    from repro.synth.parallel import ParallelExecutor
     from repro.synth.state import StateManager
 
 #: What ``run``/``sweep`` accept as a problem source: a built problem, a
@@ -108,29 +109,57 @@ class SynthesisSession:
         behavior follows the *session* config even when individual runs
         override other knobs.
     store:
-        ``None`` (no persistence), a filesystem path (a JSON store is opened
-        there), or an existing :class:`SpecOutcomeStore` to share.  The
-        store is flushed on ``close``/context exit.
+        ``None`` (no persistence), a filesystem path (the backend is chosen
+        by suffix: ``.sqlite``/``.sqlite3``/``.db`` open the concurrent-safe
+        SQLite backend, anything else the JSON document), or an existing
+        :class:`SpecOutcomeStore` to share.  The store is flushed on
+        ``close``/context exit.
+    parallel:
+        Default worker count for ``run``/``sweep`` (both also take a
+        per-call ``parallel=`` override).  With more than one job the
+        session owns a lazily-started
+        :class:`~repro.synth.parallel.ParallelExecutor` worker pool:
+        ``run`` fans the per-spec searches of registry-derived problems out
+        across workers, ``sweep`` distributes whole cells.  Workers share
+        outcomes through the session's store only for the SQLite backend
+        (with a JSON store the session remains the sole writer).
     """
 
     def __init__(
         self,
         config: Optional[SynthConfig] = None,
         store: "SpecOutcomeStore | str | os.PathLike | None" = None,
+        parallel: int = 1,
     ) -> None:
         self.config = config or SynthConfig()
         self.store = SpecOutcomeStore.open(store)
         self.cache = SynthCache.from_config(self.config)
         self.cache.store = self.store
+        self.parallel = max(int(parallel), 1)
         self._closed = False
+        #: Lazily-created worker pool (see :meth:`_executor_for`).
+        self._executor: Optional["ParallelExecutor"] = None
         #: Problems this session's cache is registered on (for close()).
         self._registered: List[SynthesisProblem] = []
         #: Benchmark-id -> built problem, so repeated ``run("S1")`` /
         #: ``sweep`` calls reuse one warm problem per benchmark.
         self._built: Dict[str, SynthesisProblem] = {}
+        #: id(problem) -> registry id for problems this session built (the
+        #: reverse map that lets ``run(problem, parallel=N)`` name the
+        #: benchmark to worker processes).
+        self._benchmark_ids: Dict[int, str] = {}
         #: (id(problem), precision) -> (problem, derived copy) for the
         #: warm precision variants (strong ref keeps ids stable).
         self._derived: Dict[Tuple[int, str], Tuple[SynthesisProblem, SynthesisProblem]] = {}
+        #: (id(problem), timeout-less config) -> {spec: solution expr} from
+        #: the last successful run: the Section 4 solution-reuse
+        #: optimization extended across a session's repeated runs.  Hints
+        #: only skip a search after re-validating against the spec, and the
+        #: search's determinism makes the adopted expression equal to what a
+        #: fresh search would find, so hinted repeats synthesize identical
+        #: programs.  (``_registered`` holds strong problem refs, keeping
+        #: the ids stable.)
+        self._solution_hints: Dict[Tuple[int, SynthConfig], Dict[Any, Any]] = {}
 
     # ------------------------------------------------------------------ running
 
@@ -139,6 +168,7 @@ class SynthesisSession:
         problem: ProblemSource,
         config: Optional[SynthConfig] = None,
         fresh_state: bool = False,
+        parallel: Optional[int] = None,
         **overrides: Any,
     ) -> SynthesisResult:
         """Synthesize ``problem`` with the session's warm resources.
@@ -154,6 +184,14 @@ class SynthesisSession:
         precision sweeps stay warm.  ``fresh_state=True`` gives this run a
         brand-new snapshot manager (cold state) instead of the problem's
         long-lived one.
+
+        ``parallel`` (defaulting to the session's ``parallel``) fans the
+        per-spec searches out across the session's worker pool
+        (:mod:`repro.synth.parallel`) when the problem is a registry
+        benchmark -- workers rebuild it by id -- and it has more than one
+        spec; anything else falls back to the serial engine.  So does
+        ``fresh_state=True``: workers hold long-lived warm state, which
+        would silently defeat the cold-state contract.
         """
 
         self._check_open()
@@ -166,15 +204,45 @@ class SynthesisSession:
         runner = self._at_precision(resolved, effective.effect_precision)
         state = self._state_for(runner, effective, fresh_state)
         self._register(runner)
-        return run_synthesis(
-            runner, effective, cache=self.cache, state=state, external_cache=True
+        hints = self._hints_for(runner, effective)
+        jobs = self.parallel if parallel is None else max(int(parallel), 1)
+        if jobs > 1 and not fresh_state:
+            benchmark_id = (
+                benchmark.id
+                if benchmark is not None
+                else self._benchmark_ids.get(id(resolved))
+            )
+            if benchmark_id is not None and len(runner.specs) > 1:
+                from repro.synth.parallel import run_synthesis_parallel
+
+                result = run_synthesis_parallel(
+                    runner,
+                    effective,
+                    cache=self.cache,
+                    state=state,
+                    executor=self._executor_for(jobs),
+                    benchmark_id=benchmark_id,
+                    solution_hints=hints,
+                )
+                self._remember_solutions(runner, effective, result)
+                return result
+        result = run_synthesis(
+            runner,
+            effective,
+            cache=self.cache,
+            state=state,
+            external_cache=True,
+            solution_hints=hints,
         )
+        self._remember_solutions(runner, effective, result)
+        return result
 
     def sweep(
         self,
         problems: Union[str, Iterable[ProblemSource], None] = "registry",
         variants: Optional[Sequence[VariantSpec]] = None,
         warm: bool = True,
+        parallel: Optional[int] = None,
     ) -> List[SweepEntry]:
         """Run every problem under every variant (problem-major order).
 
@@ -187,34 +255,122 @@ class SynthesisSession:
         ``warm=False`` isolates every cell in a throwaway session with a
         freshly built problem (and no store): fully cold measurements, as
         the Figure 7 guidance-mode comparison requires.
+
+        ``parallel`` (defaulting to the session's ``parallel``) distributes
+        whole registry cells across the session's worker pool, in
+        deterministic problem-major result order.  Warm parallel cells are
+        warm *per worker* (each worker holds a persistent session); cold
+        cells are isolated in the worker exactly as they are serially.
+        Cells whose source is an ad-hoc problem object cannot be shipped to
+        a worker and run in the parent, interleaved at their position.
         """
 
         self._check_open()
         sources = self._resolve_sources(problems)
         named_variants = self._normalize_variants(variants)
+        jobs = self.parallel if parallel is None else max(int(parallel), 1)
+        if jobs > 1:
+            return self._sweep_parallel(sources, named_variants, warm, jobs)
         entries: List[SweepEntry] = []
         for source in sources:
             benchmark = self._as_benchmark(source)
             for name, spec in named_variants:
                 variant_config = self._variant_config(spec, benchmark)
-                if warm:
-                    problem = self._resolve_problem(source)
-                    result = self.run(problem, config=variant_config)
-                else:
-                    problem = (
-                        benchmark.build() if benchmark is not None else source
-                    )
-                    with SynthesisSession(variant_config) as cold:
-                        result = cold.run(problem, fresh_state=benchmark is None)
                 entries.append(
-                    SweepEntry(
-                        label=benchmark.id if benchmark is not None else problem.name,
-                        variant=name,
-                        result=result,
-                        problem=problem,
-                        benchmark=benchmark,
-                    )
+                    self._run_cell(source, benchmark, name, variant_config, warm)
                 )
+        return entries
+
+    def _run_cell(
+        self,
+        source: ProblemSource,
+        benchmark: Optional["BenchmarkSpec"],
+        variant: str,
+        variant_config: SynthConfig,
+        warm: bool,
+    ) -> SweepEntry:
+        """One serial sweep cell (shared by the serial and fallback paths).
+
+        The cell runs fully serial (``parallel=1`` is forced): a
+        ``sweep(parallel=1)`` on a parallel-default session must be a true
+        serial baseline, and the parallel sweep's ad-hoc fallback cells must
+        not contend with the pool already chewing the registry cells.
+        """
+
+        if warm:
+            problem = self._resolve_problem(source)
+            result = self.run(problem, config=variant_config, parallel=1)
+        else:
+            problem = benchmark.build() if benchmark is not None else source
+            with SynthesisSession(variant_config) as cold:
+                result = cold.run(problem, fresh_state=benchmark is None)
+        return SweepEntry(
+            label=benchmark.id if benchmark is not None else problem.name,
+            variant=variant,
+            result=result,
+            problem=problem,
+            benchmark=benchmark,
+        )
+
+    def _sweep_parallel(
+        self,
+        sources: List[ProblemSource],
+        named_variants: List[Tuple[str, Union[SynthConfig, Mapping[str, Any]]]],
+        warm: bool,
+        jobs: int,
+    ) -> List[SweepEntry]:
+        """Distribute sweep cells over the worker pool, order-preserving.
+
+        Cell tasks run wholly inside a worker, so their outcomes are only
+        persisted when workers carry the store themselves -- the SQLite
+        backend.  A JSON store cannot be handed to workers and gets nothing
+        from cell tasks (unlike per-spec ``run`` fan-out, where the parent
+        absorbs and persists worker outcomes), so a parallel sweep against
+        one warns.
+        """
+
+        if self.store is not None and self.store.backend != "sqlite":
+            import warnings
+
+            warnings.warn(
+                "parallel sweep cells do not persist outcomes to a "
+                f"{self.store.backend} store; use the SQLite backend "
+                "(e.g. a .sqlite path) for multi-process persistence",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        executor = self._executor_for(jobs)
+        cells: List[Tuple[ProblemSource, Optional["BenchmarkSpec"], str, SynthConfig, Any]] = []
+        for source in sources:
+            benchmark = self._as_benchmark(source)
+            for name, spec in named_variants:
+                variant_config = self._variant_config(spec, benchmark)
+                future = (
+                    executor.submit_cell(benchmark.id, variant_config, fresh=not warm)
+                    if benchmark is not None
+                    else None
+                )
+                cells.append((source, benchmark, name, variant_config, future))
+
+        entries: List[SweepEntry] = []
+        for source, benchmark, name, variant_config, future in cells:
+            if future is None:
+                entries.append(
+                    self._run_cell(source, benchmark, name, variant_config, warm)
+                )
+                continue
+            payload = future.get()[0]
+            problem = self._resolve_problem(source)
+            result = payload.to_result(problem)
+            entries.append(
+                SweepEntry(
+                    label=benchmark.id,
+                    variant=name,
+                    result=result,
+                    problem=problem,
+                    benchmark=benchmark,
+                )
+            )
         return entries
 
     # ------------------------------------------------------------------ resources
@@ -230,7 +386,37 @@ class SynthesisSession:
         if problem is None:
             problem = benchmark.build()
             self._built[benchmark.id] = problem
+            self._benchmark_ids[id(problem)] = benchmark.id
         return problem
+
+    def _executor_for(self, jobs: int) -> "ParallelExecutor":
+        """The session's worker pool, (re)built for ``jobs`` workers.
+
+        Workers are handed the session's store only when it is the SQLite
+        backend -- its upserts are concurrent-safe -- and the parent's
+        connection is flushed first so workers see everything written so
+        far.  With a JSON store the session remains the sole writer and
+        persists worker outcomes itself during memo absorption.
+        """
+
+        from repro.synth.parallel import ParallelExecutor
+
+        if self._executor is not None and self._executor.jobs != jobs:
+            self._executor.close()
+            self._executor = None
+        if self._executor is None:
+            store_path = store_backend = None
+            if self.store is not None and self.store.backend == "sqlite":
+                self.store.flush()
+                store_path = self.store.path
+                store_backend = "sqlite"
+            self._executor = ParallelExecutor(
+                jobs,
+                base_config=self.config,
+                store_path=store_path,
+                store_backend=store_backend,
+            )
+        return self._executor
 
     def clear_memory_caches(self) -> None:
         """Drop in-process memo state but keep the persistent store.
@@ -250,13 +436,16 @@ class SynthesisSession:
     # ------------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
-        """Flush the store and detach the session cache from its problems."""
+        """Flush the store, stop the worker pool and detach the cache."""
 
         if self._closed:
             return
         for problem in self._registered:
             problem.unregister_cache(self.cache)
         self._registered.clear()
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
         if self.store is not None:
             self.store.flush()
         self._closed = True
@@ -369,6 +558,39 @@ class SynthesisSession:
         derived._state_manager = problem.state_manager()
         self._derived[key] = (problem, derived)
         return derived
+
+    def _hint_key(
+        self, problem: SynthesisProblem, config: SynthConfig
+    ) -> Tuple[int, SynthConfig]:
+        # The timeout does not influence *which* expression a (finishing)
+        # search returns, so hints survive timeout changes; every other
+        # config field can steer the search and keys the hint space.
+        return (id(problem), replace(config, timeout_s=None))
+
+    def _hints_for(
+        self, problem: SynthesisProblem, config: SynthConfig
+    ) -> Optional[Dict[Any, Any]]:
+        return self._solution_hints.get(self._hint_key(problem, config))
+
+    def _remember_solutions(
+        self, problem: SynthesisProblem, config: SynthConfig, result: SynthesisResult
+    ) -> None:
+        """Store a successful run's per-spec solutions as future hints.
+
+        Only the spec that triggered each solution's search (the first of
+        the tuple: later specs were added by reuse coverage) gets a hint,
+        so a hinted repeat replays exactly the cold run's reuse-vs-search
+        resolution.
+        """
+
+        if not result.success:
+            return
+        hints = self._solution_hints.setdefault(
+            self._hint_key(problem, config), {}
+        )
+        for solution in result.solutions:
+            if solution.specs:
+                hints[solution.specs[0]] = solution.expr
 
     def _state_for(
         self, problem: SynthesisProblem, config: SynthConfig, fresh: bool

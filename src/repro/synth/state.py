@@ -122,6 +122,20 @@ class StateStats:
             verifications=self.verifications - before.verifications,
         )
 
+    def merge(self, other: "StateStats") -> None:
+        """Fold another manager's counters in (parallel worker aggregation).
+
+        Like ``SearchStats.merge``, every field must be aggregated -- the
+        field-completeness test in ``tests/test_parallel.py`` guards it.
+        """
+
+        self.restores += other.restores
+        self.rebuilds += other.rebuilds
+        self.captures += other.captures
+        self.unreplayable += other.unreplayable
+        self.invalidations += other.invalidations
+        self.verifications += other.verifications
+
     def as_dict(self) -> Dict[str, int]:
         return {
             "restores": self.restores,

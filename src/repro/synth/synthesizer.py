@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 from repro.lang import ast as A
 from repro.synth.cache import CacheStats, SynthCache
@@ -126,6 +126,7 @@ def run_synthesis(
     cache: Optional[SynthCache] = None,
     state: Optional[StateManager] = None,
     external_cache: bool = False,
+    solution_hints: Optional[Mapping] = None,
 ) -> SynthesisResult:
     """Synthesize a method satisfying every spec of ``problem``.
 
@@ -135,6 +136,14 @@ def run_synthesis(
     ``state`` are the warm resources to use; with ``external_cache`` the
     cache outlives this run (it stays registered on the problem and the
     result reports counter deltas only).
+
+    ``solution_hints`` maps specs to the expression a *previous* run of the
+    same (problem, config) synthesized for them -- the Section 4 reuse
+    optimization extended across runs.  A hint is only adopted after it
+    re-validates against the spec (a stale hint is simply searched past),
+    and because the search is deterministic the adopted expression is
+    exactly what a fresh search would re-find, so hinted runs synthesize
+    identical programs.  The session maintains these per (problem, config).
     """
 
     budget = Budget(config.timeout_s)
@@ -151,6 +160,12 @@ def run_synthesis(
             if _reuse_solution(
                 problem, spec, solutions, config, budget, stats, cache, state
             ):
+                continue
+            hint = _adopt_hint(
+                problem, spec, solution_hints, config, budget, stats, cache, state
+            )
+            if hint is not None:
+                solutions.append(SpecSolution(expr=hint, specs=(spec,)))
                 continue
             expr = generate_for_spec(
                 problem, spec, config, budget=budget, stats=stats, cache=cache,
@@ -251,6 +266,40 @@ class _RunCounters:
             result.problem.reset_replays - self.resets_before
         )
         return result
+
+
+def _adopt_hint(
+    problem: SynthesisProblem,
+    spec,
+    solution_hints: Optional[Mapping],
+    config: SynthConfig,
+    budget: Budget,
+    stats: SearchStats,
+    cache: Optional[SynthCache] = None,
+    state: Optional[StateManager] = None,
+):
+    """The previous run's re-validated solution for ``spec``, or ``None``.
+
+    Hints are stored post-simplify, so adopting one reproduces the exact
+    solution tuple a fresh search-plus-simplify would append; the
+    evaluation is budget-checked like every reuse trial.
+    """
+
+    if not solution_hints:
+        return None
+    hint = solution_hints.get(spec)
+    if hint is None:
+        return None
+    if budget.expired():
+        stats.timed_out = True
+        raise SynthesisTimeout(f"timeout while re-validating {spec.name!r}")
+    outcome = evaluate_spec(
+        problem, problem.make_program(hint), spec, cache=cache, state=state
+    )
+    if not outcome.ok:
+        return None
+    stats.hint_reuses += 1
+    return hint
 
 
 def _reuse_solution(

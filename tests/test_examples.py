@@ -20,6 +20,13 @@ def test_quickstart_example(capsys):
     assert "def user_exists" in out
 
 
+def test_parallel_sweep_example(capsys):
+    _run(f"{EXAMPLES_DIR}/parallel_sweep.py")
+    out = capsys.readouterr().out
+    assert "across 2 workers" in out
+    assert "store hits" in out
+
+
 @pytest.mark.slow
 def test_update_post_example(capsys):
     _run(f"{EXAMPLES_DIR}/update_post.py")
