@@ -1,0 +1,231 @@
+"""Before/after comparison of the evaluation backends (repro.interp).
+
+For each selected registry benchmark the harness synthesizes twice with the
+same configuration -- once with ``eval_backend="tree"`` (the definitional
+walker) and once with ``eval_backend="compiled"`` (hash-consed subtrees
+closed into cached closures, :mod:`repro.interp.compile`) -- and emits a
+JSON report comparing the two runs:
+
+* ``evals_per_s`` -- candidate-evaluation throughput: the synthesized
+  program is re-invoked against the spec recordings captured by the
+  :class:`~repro.synth.state.StateManager` (database snapshot restored and
+  arguments deep-copied *outside* the timed window, so only
+  ``Interpreter.call_program`` is measured);
+* ``programs_identical`` -- whether both runs synthesized the same program
+  (the backends must be observably identical, so backend choice can never
+  change synthesis results);
+* ``throughput_speedup`` -- honest ratio ``on.evals_per_s /
+  off.evals_per_s``.
+
+The acceptance target (checked by ``--check``, used by ``scripts/ci.sh``)
+is a >= 2x candidate-evaluation throughput improvement on at least
+``--min-benchmarks`` benchmarks, with identical programs everywhere.
+The report/CLI plumbing shared with ``bench_cache.py``/``bench_state.py``
+lives in :mod:`ab_harness`.  The persistent-store options of the shared
+CLI are accepted but unused here (backend choice has no store interaction),
+and ``--jobs`` is ignored: throughput is a single-process measurement.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_interp.py --out interp_report.json
+    PYTHONPATH=src python benchmarks/bench_interp.py --check   # CI gate
+"""
+
+from __future__ import annotations
+
+import copy
+import gc
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for _path in (_SRC, _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from ab_harness import ABHarness, SCHEMA_VERSION  # noqa: E402,F401
+from repro.benchmarks import get_benchmark  # noqa: E402
+from repro.interp import Interpreter  # noqa: E402
+from repro.lang.pretty import pretty  # noqa: E402
+from repro.synth.config import SynthConfig  # noqa: E402
+from repro.synth.goal import evaluate_spec  # noqa: E402
+from repro.synth.session import SynthesisSession  # noqa: E402
+
+#: Registry benchmarks whose synthesized programs do enough per-call work
+#: (ORM queries, multi-call bodies) for backend throughput to dominate the
+#: measurement noise; all synthesize in well under a second.
+DEFAULT_BENCHMARKS = ("S7", "A1", "A5", "A8", "A11")
+
+#: Timed program invocations per spec recording (after one warmup pass).
+_REPS_PER_SPEC = 300
+
+#: Timing rounds per backend; the best round is reported.  Scheduling and
+#: GC noise only ever *deflate* a round's rate, so the max is the robust
+#: estimator of what the backend can sustain.
+_ROUNDS = 3
+
+#: Required keys per section, checked by validate_report (and CI).
+_RUN_KEYS = frozenset(
+    {
+        "success",
+        "elapsed_s",
+        "backend",
+        "evaluations",
+        "evals_per_s",
+    }
+)
+
+
+def _run(
+    benchmark_id: str,
+    timeout_s: float,
+    enabled: bool,
+    store_path: Optional[str] = None,
+    jobs: int = 1,
+) -> Dict[str, object]:
+    backend = "compiled" if enabled else "tree"
+    benchmark = get_benchmark(benchmark_id)
+    problem = benchmark.build()
+    config = benchmark.make_config(
+        SynthConfig(timeout_s=timeout_s, eval_backend=backend)
+    )
+    started = time.perf_counter()
+    with SynthesisSession(config) as session:
+        result = session.run(problem)
+    elapsed_s = time.perf_counter() - started
+    if not result.success or result.program is None:
+        return {
+            "success": False,
+            "elapsed_s": round(elapsed_s, 4),
+            "backend": backend,
+            "evaluations": 0,
+            "evals_per_s": 0.0,
+            "_program": None,
+            "_text": None,
+        }
+    program = result.program
+
+    # Capture per-spec recordings (pre-invoke snapshot + arguments), then
+    # measure pure ``call_program`` throughput: snapshot restore and the
+    # joint (state, args) deep copy happen outside the timed window.
+    manager = problem.state_manager()
+    for spec in problem.specs:
+        evaluate_spec(problem, program, spec, state=manager, backend=backend)
+    interp = Interpreter(problem.class_table, backend=backend)
+    recordings = [
+        rec
+        for rec in (manager.recording_for(spec) for spec in problem.specs)
+        if rec is not None
+    ]
+    for rec in recordings:  # warmup: compile closures, warm dispatch caches
+        problem.database.restore(rec.snapshot)
+        _, args = copy.deepcopy((rec.state, rec.args))
+        try:
+            interp.call_program(program, *args)
+        except Exception:
+            pass
+    evals_per_s, evaluations = 0.0, 0
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(_ROUNDS):
+            # The per-rep deep copies allocate heavily; keep collector pauses
+            # out of the timed windows (collect between rounds instead).
+            gc.collect()
+            gc.disable()
+            total, count = 0.0, 0
+            for rec in recordings:
+                for _ in range(_REPS_PER_SPEC):
+                    problem.database.restore(rec.snapshot)
+                    _, args = copy.deepcopy((rec.state, rec.args))
+                    t0 = time.perf_counter()
+                    try:
+                        interp.call_program(program, *args)
+                    except Exception:
+                        pass
+                    total += time.perf_counter() - t0
+                    count += 1
+            if gc_was_enabled:
+                gc.enable()
+            evaluations = count
+            if total > 0:
+                evals_per_s = max(evals_per_s, count / total)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "success": bool(evaluations),
+        "elapsed_s": round(elapsed_s, 4),
+        "backend": backend,
+        "evaluations": evaluations,
+        "evals_per_s": round(evals_per_s, 2),
+        "_program": program,
+        "_text": pretty(program),
+    }
+
+
+def _diff(
+    off: Dict[str, object], on: Dict[str, object], identical: bool
+) -> Dict[str, object]:
+    tree_rate = float(off["evals_per_s"])
+    compiled_rate = float(on["evals_per_s"])
+    speedup = compiled_rate / tree_rate if tree_rate > 0 else 0.0
+    # The ">=2x candidate-evaluation throughput" target: the compiled
+    # backend must re-evaluate the synthesized program at least twice as
+    # fast as the tree walker, and -- backends being observably identical
+    # -- both runs must synthesize byte-identical programs.
+    meets = (
+        identical
+        and bool(off["success"])
+        and bool(on["success"])
+        and speedup >= 2.0
+    )
+    return {
+        "throughput_speedup": round(speedup, 4),
+        "meets_target": meets,
+    }
+
+
+HARNESS = ABHarness(
+    generated_by="benchmarks/bench_interp.py",
+    section_prefix="interp",
+    target=">=2x candidate-evaluation throughput, identical programs",
+    run_keys=_RUN_KEYS,
+    extra_entry_keys=frozenset({"throughput_speedup"}),
+    run=_run,
+    diff=_diff,
+    fail_identical="eval backend changed a synthesized program",
+    ok_noun="2x throughput target",
+)
+
+
+def compare_benchmark(
+    benchmark_id: str,
+    timeout_s: float,
+    store_path: Optional[str] = None,
+    jobs: int = 1,
+) -> Dict[str, object]:
+    return HARNESS.compare_benchmark(benchmark_id, timeout_s, store_path, jobs)
+
+
+def build_report(
+    benchmark_ids: Sequence[str],
+    timeout_s: float,
+    store_path: Optional[str] = None,
+    jobs: int = 1,
+) -> Dict[str, object]:
+    return HARNESS.build_report(benchmark_ids, timeout_s, store_path, jobs)
+
+
+def validate_report(report: Dict[str, object]) -> List[str]:
+    return HARNESS.validate_report(report)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return HARNESS.main(argv, __doc__, DEFAULT_BENCHMARKS)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

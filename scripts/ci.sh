@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Lightweight CI gate: tier-1 tests plus the cache-, state- and store-bench
-# smokes.
+# Lightweight CI gate: tier-1 tests (with both evaluation backends) plus the
+# cache-, state-, store-, parallel- and interp-bench smokes.
 #
-#   scripts/ci.sh            # tier-1 pytest + bench_cache/bench_state --check
+#   scripts/ci.sh            # tier-1 pytest + bench --check gates
 #   CI_SKIP_TESTS=1 scripts/ci.sh   # bench smokes only
+#
+# Bench reports are written to BENCH_<subsystem>.json at the repo root and
+# checked in per PR, forming the committed bench trajectory the ROADMAP
+# asks for.
 #
 # Each bench smoke synthesizes a fast subset of registry benchmarks with one
 # subsystem off and on, writes a JSON report, validates its schema and fails
@@ -21,6 +25,12 @@
 # run, then the full bench_parallel --check (default --jobs 4) which also
 # gates on the >= 1.5x wall-clock speedup target over the synthetic
 # registry.
+#
+# The interp gate runs bench_interp --check: the compiled evaluation
+# backend (repro.interp.compile) must re-evaluate synthesized programs at
+# >= 2x the tree-walker's throughput on >= 3 benchmarks while synthesizing
+# identical programs.  The tier-1 suite additionally runs once with
+# REPRO_EVAL_BACKEND=tree to keep the fallback backend green.
 
 set -euo pipefail
 
@@ -28,12 +38,22 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 if [[ "${CI_SKIP_TESTS:-0}" != "1" ]]; then
-    echo "== tier-1 tests =="
+    echo "== tier-1 tests (compiled backend default) =="
     python -m pytest -x -q
+    echo "== tier-1 tests (tree backend fallback) =="
+    REPRO_EVAL_BACKEND=tree python -m pytest -x -q
 fi
 
+echo "== interp bench gate =="
+INTERP_REPORT="${CI_INTERP_REPORT:-BENCH_interp.json}"
+python benchmarks/bench_interp.py \
+    --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
+    --out "$INTERP_REPORT" \
+    --min-benchmarks 3 \
+    --check
+
 echo "== cache bench smoke =="
-REPORT="${CI_BENCH_REPORT:-bench_cache_report.json}"
+REPORT="${CI_BENCH_REPORT:-BENCH_cache.json}"
 python benchmarks/bench_cache.py \
     --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
     --out "$REPORT" \
@@ -41,7 +61,7 @@ python benchmarks/bench_cache.py \
     --check
 
 echo "== state bench smoke =="
-STATE_REPORT="${CI_STATE_REPORT:-bench_state_report.json}"
+STATE_REPORT="${CI_STATE_REPORT:-BENCH_state.json}"
 python benchmarks/bench_state.py \
     --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
     --out "$STATE_REPORT" \
@@ -78,10 +98,10 @@ python benchmarks/bench_parallel.py \
     --check > /dev/null
 
 echo "== parallel speedup gate (--jobs 4) =="
-PARALLEL_REPORT="${CI_PARALLEL_REPORT:-bench_parallel_report.json}"
+PARALLEL_REPORT="${CI_PARALLEL_REPORT:-BENCH_parallel.json}"
 python benchmarks/bench_parallel.py \
     --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
     --out "$PARALLEL_REPORT" \
     --check
 
-echo "== ok: reports at $REPORT, $STATE_REPORT, $STORE_REPORT and $PARALLEL_REPORT =="
+echo "== ok: reports at $INTERP_REPORT, $REPORT, $STATE_REPORT, $STORE_REPORT and $PARALLEL_REPORT =="

@@ -8,16 +8,33 @@ error of the extended calculus (Appendix A.1), which in turn drives
 effect-guided synthesis.
 """
 
+from repro.interp.backend import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    EvalBackend,
+    TreeBackend,
+    default_backend_name,
+    get_backend,
+    resolve_backend,
+)
 from repro.interp.effect_log import EffectLog, current_effect_log, effect_capture, log_effect
-from repro.interp.errors import AssertionFailure, SynRuntimeError
+from repro.interp.errors import AssertionFailure, CallBudgetExceeded, SynRuntimeError
 from repro.interp.interpreter import Interpreter
 
 __all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "EvalBackend",
+    "TreeBackend",
+    "default_backend_name",
+    "get_backend",
+    "resolve_backend",
     "EffectLog",
     "current_effect_log",
     "effect_capture",
     "log_effect",
     "AssertionFailure",
+    "CallBudgetExceeded",
     "SynRuntimeError",
     "Interpreter",
 ]

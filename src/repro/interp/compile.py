@@ -1,0 +1,424 @@
+"""The compiled evaluation backend: hash-consed ASTs closed into closures.
+
+Candidate evaluation is the serial hot path of the synthesis loop, and after
+hash-consing (:mod:`repro.synth.cache`) the engine sees few *unique* subtree
+shapes.  This backend compiles each unique subtree exactly once into a chain
+of Python closures (``node -> fn(env, rt) -> value``) and caches the closure
+on the node instance itself (a ``_compiled`` memo slot, set with
+``object.__setattr__`` like the ``_hash``/``_node_count`` memos of
+:mod:`repro.lang.ast`), so compilation cost amortizes across every candidate
+sharing the shape.  Because interned nodes are shared, a subtree compiled
+while evaluating one candidate is already compiled when a later candidate
+contains it.
+
+The closures are purely *structural*: method dispatch still happens at run
+time against the receiver's class through the shared evaluation context
+(:class:`~repro.interp.interpreter.Interpreter`), so one compiled closure is
+valid under every class table, effect precision and interpreter instance.
+Each method-call closure additionally carries a small per-callsite dispatch
+cache keyed by the class table's mutation-aware ``generation`` token, which
+skips the superclass-chain walk and signature resolution on the (overwhelmingly
+monomorphic) hot path; the generation changes whenever the table is mutated,
+so the cache can never serve a stale resolution.
+
+Effect logging, call-budget charging and hole rejection flow through the same
+context methods as the tree walker, keeping the two backends observably
+identical.  The ``_compiled`` slot is underscore-prefixed, so the AST pickle
+hook (``repro.lang.ast._memoless_state``) automatically drops it: closures
+never cross the process boundary in the parallel subsystem.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Tuple
+
+from repro.lang import ast as A
+from repro.lang import values as V
+from repro.lang.values import ClassValue, HashValue, Symbol, truthy
+from repro.interp.backend import EvalBackend
+from repro.interp.effect_log import _ACTIVE_LOGS
+from repro.interp.errors import (
+    CallBudgetExceeded,
+    NoMethodError,
+    SynRuntimeError,
+    UnboundVariableError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.interp.interpreter import Interpreter
+
+#: A compiled subtree: ``fn(env, rt) -> value``.
+CompiledFn = Callable[[Dict[str, Any], "Interpreter"], Any]
+
+#: Per-callsite dispatch caches are cleared beyond this many entries; real
+#: callsites are monomorphic (one receiver class under one class table), so
+#: the bound only triggers for pathological table churn.
+_DISPATCH_CACHE_LIMIT = 32
+
+
+class CompiledBackend(EvalBackend):
+    """Evaluate by compiling each unique subtree once into closures."""
+
+    name = "compiled"
+
+    def run(self, rt: "Interpreter", expr: A.Node, env: Dict[str, Any]) -> Any:
+        fn = expr.__dict__.get("_compiled")
+        if fn is None:
+            fn = compile_node(expr)
+        return fn(env, rt)
+
+
+def compile_node(node: A.Node) -> CompiledFn:
+    """The compiled closure for ``node``, building and memoizing it on demand."""
+
+    cached = node.__dict__.get("_compiled") if hasattr(node, "__dict__") else None
+    if cached is not None:
+        return cached
+    fn = _compile(node)
+    object.__setattr__(node, "_compiled", fn)
+    return fn
+
+
+def is_compiled(node: A.Node) -> bool:
+    """Whether ``node`` already carries a compiled closure (tests/benches)."""
+
+    return hasattr(node, "__dict__") and "_compiled" in node.__dict__
+
+
+# ---------------------------------------------------------------------------
+# Per-node compilers
+# ---------------------------------------------------------------------------
+
+
+def _compile(node: A.Node) -> CompiledFn:
+    compiler = _COMPILERS.get(type(node))
+    if compiler is None:
+        # Mirror the tree walker: unknown nodes fail at evaluation time.
+        def run_unknown(env: Dict[str, Any], rt: "Interpreter") -> Any:
+            raise SynRuntimeError(f"cannot evaluate {node!r}")
+
+        return run_unknown
+    return compiler(node)
+
+
+def _compile_const_value(value: Any) -> CompiledFn:
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        return value
+
+    return run
+
+
+def _compile_nil(node: A.NilLit) -> CompiledFn:
+    return _compile_const_value(None)
+
+
+def _compile_bool(node: A.BoolLit) -> CompiledFn:
+    return _compile_const_value(node.value)
+
+
+def _compile_int(node: A.IntLit) -> CompiledFn:
+    return _compile_const_value(node.value)
+
+
+def _compile_str(node: A.StrLit) -> CompiledFn:
+    return _compile_const_value(node.value)
+
+
+def _compile_sym(node: A.SymLit) -> CompiledFn:
+    # Symbols are interned; resolve once at compile time.
+    return _compile_const_value(Symbol(node.name))
+
+
+def _compile_const_ref(node: A.ConstRef) -> CompiledFn:
+    name = node.name
+
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        return rt._const(name)
+
+    return run
+
+
+def _compile_var(node: A.Var) -> CompiledFn:
+    name = node.name
+
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        try:
+            return env[name]
+        except KeyError:
+            raise UnboundVariableError(name) from None
+
+    return run
+
+
+def _compile_hole(node: A.Node) -> CompiledFn:
+    # Compiling a hole is fine (an untaken branch may contain one, exactly as
+    # in the tree walker); *evaluating* it is the error.
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        raise SynRuntimeError("cannot evaluate an expression containing holes")
+
+    return run
+
+
+def _compile_seq(node: A.Seq) -> CompiledFn:
+    first = compile_node(node.first)
+    second = compile_node(node.second)
+
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        first(env, rt)
+        return second(env, rt)
+
+    return run
+
+
+def _compile_let(node: A.Let) -> CompiledFn:
+    value_fn = compile_node(node.value)
+    body_fn = compile_node(node.body)
+    var = node.var
+
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        value = value_fn(env, rt)
+        inner = dict(env)
+        inner[var] = value
+        return body_fn(inner, rt)
+
+    return run
+
+
+def _compile_hash(node: A.HashLit) -> CompiledFn:
+    # Symbol keys are interned once at compile time.
+    pairs: Tuple[Tuple[Symbol, CompiledFn], ...] = tuple(
+        (Symbol(key), compile_node(value)) for key, value in node.entries
+    )
+
+    from_owned = HashValue.from_owned
+
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        # The comprehension dict is fresh, so hand it over without the
+        # defensive copy ``HashValue(...)`` would make.
+        return from_owned({key: fn(env, rt) for key, fn in pairs})
+
+    return run
+
+
+def _compile_if(node: A.If) -> CompiledFn:
+    cond = compile_node(node.cond)
+    then_fn = compile_node(node.then_branch)
+    else_fn = compile_node(node.else_branch)
+
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        if truthy(cond(env, rt)):
+            return then_fn(env, rt)
+        return else_fn(env, rt)
+
+    return run
+
+
+def _compile_not(node: A.Not) -> CompiledFn:
+    inner = compile_node(node.expr)
+
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        return not truthy(inner(env, rt))
+
+    return run
+
+
+def _compile_or(node: A.Or) -> CompiledFn:
+    left_fn = compile_node(node.left)
+    right_fn = compile_node(node.right)
+
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        left = left_fn(env, rt)
+        if truthy(left):
+            return left
+        return right_fn(env, rt)
+
+    return run
+
+
+def _compile_method_def(node: A.MethodDef) -> CompiledFn:
+    return compile_node(node.body)
+
+
+def _compile_call(node: A.MethodCall) -> CompiledFn:
+    recv_fn = compile_node(node.receiver)
+    arg_fns = tuple(compile_node(arg) for arg in node.args)
+    name = node.name
+    # Per-callsite monomorphic dispatch cache, keyed by the receiver's
+    # *runtime class* -- the Python type for instances (every model gets its
+    # own class, builtins map one-to-one), the class object itself for
+    # singleton receivers, the wrapped name for ClassValues.  Entries carry
+    # the class-table generation they were resolved under; the token is
+    # bumped on every table mutation and is globally unique per table
+    # instance, so a hit can never be stale and never crosses class tables
+    # or effect precisions.  Each entry is ``(generation, impl, read effect,
+    # write effect, sig)`` -- everything the hot path needs, pre-extracted.
+    dispatch_cache: Dict[Any, Tuple[int, Any, Any, Any, Any]] = {}
+    class_name_of_value = V.class_name_of_value
+    is_class_value = V.is_class_value
+    logs_get = _ACTIVE_LOGS.get
+
+    def resolve(receiver: Any, rt: "Interpreter", key: Any) -> Tuple[int, Any, Any, Any, Any]:
+        # Miss path: full superclass-chain lookup and signature resolution,
+        # cached under ``key`` for the current table generation.
+        table = rt.class_table
+        cls_name = class_name_of_value(receiver)
+        singleton = is_class_value(receiver)
+        sig = rt._lookup(cls_name, name, singleton)
+        if sig is None:
+            raise NoMethodError(cls_name, name)
+        resolved = table.resolve(sig, _receiver_type(receiver, cls_name, singleton))
+        if len(dispatch_cache) >= _DISPATCH_CACHE_LIMIT:
+            dispatch_cache.clear()
+        effects = resolved.effects
+        entry = (table._generation, sig.impl, effects.read, effects.write, sig)
+        dispatch_cache[key] = entry
+        return entry
+
+    # The hot-path body is written out once per arity (0, 1, n) so the
+    # common 0/1-argument calls skip the args-list allocation and star
+    # unpacking.  Keep the three bodies in lockstep when editing: the
+    # receiver is evaluated before the arguments, the arguments before
+    # dispatch (argument errors must beat NoMethodError, matching the tree
+    # walker), and hash/bool receivers bypass the cache via
+    # ``rt.call_method`` (per-value comp types / TrueClass-FalseClass split).
+    if not arg_fns:
+
+        def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+            # Inlined rt.charge_call() (the hottest line of synthesis).
+            rt._calls += 1
+            if rt._calls > rt.max_calls:
+                raise CallBudgetExceeded(rt.max_calls)
+            receiver = recv_fn(env, rt)
+            rcls = type(receiver)
+            if rcls is HashValue or rcls is bool:
+                return rt.call_method(receiver, name, [])
+            if rcls is ClassValue:
+                key: Any = receiver.name
+            elif isinstance(receiver, type):
+                key = receiver
+            else:
+                key = rcls
+            entry = dispatch_cache.get(key)
+            if entry is None or entry[0] != rt.class_table._generation:
+                entry = resolve(receiver, rt, key)
+            gen, impl, eff_read, eff_write, sig = entry
+            for log in logs_get():
+                log.record(eff_read, eff_write)
+            if impl is None:
+                raise SynRuntimeError(
+                    f"method {sig.qualified_name} has no implementation"
+                )
+            try:
+                return impl(rt, receiver)
+            except (SynRuntimeError, NoMethodError):
+                raise
+            except (TypeError, ValueError, KeyError, AttributeError, IndexError) as exc:
+                raise SynRuntimeError(
+                    f"error calling {sig.qualified_name}: {exc}"
+                ) from exc
+
+        return run
+
+    if len(arg_fns) == 1:
+        arg0_fn = arg_fns[0]
+
+        def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+            rt._calls += 1
+            if rt._calls > rt.max_calls:
+                raise CallBudgetExceeded(rt.max_calls)
+            receiver = recv_fn(env, rt)
+            arg0 = arg0_fn(env, rt)
+            rcls = type(receiver)
+            if rcls is HashValue or rcls is bool:
+                return rt.call_method(receiver, name, [arg0])
+            if rcls is ClassValue:
+                key: Any = receiver.name
+            elif isinstance(receiver, type):
+                key = receiver
+            else:
+                key = rcls
+            entry = dispatch_cache.get(key)
+            if entry is None or entry[0] != rt.class_table._generation:
+                entry = resolve(receiver, rt, key)
+            gen, impl, eff_read, eff_write, sig = entry
+            for log in logs_get():
+                log.record(eff_read, eff_write)
+            if impl is None:
+                raise SynRuntimeError(
+                    f"method {sig.qualified_name} has no implementation"
+                )
+            try:
+                return impl(rt, receiver, arg0)
+            except (SynRuntimeError, NoMethodError):
+                raise
+            except (TypeError, ValueError, KeyError, AttributeError, IndexError) as exc:
+                raise SynRuntimeError(
+                    f"error calling {sig.qualified_name}: {exc}"
+                ) from exc
+
+        return run
+
+    def run(env: Dict[str, Any], rt: "Interpreter") -> Any:
+        rt._calls += 1
+        if rt._calls > rt.max_calls:
+            raise CallBudgetExceeded(rt.max_calls)
+        receiver = recv_fn(env, rt)
+        args = [fn(env, rt) for fn in arg_fns]
+        rcls = type(receiver)
+        if rcls is HashValue or rcls is bool:
+            return rt.call_method(receiver, name, args)
+        if rcls is ClassValue:
+            key: Any = receiver.name
+        elif isinstance(receiver, type):
+            key = receiver
+        else:
+            key = rcls
+        entry = dispatch_cache.get(key)
+        if entry is None or entry[0] != rt.class_table._generation:
+            entry = resolve(receiver, rt, key)
+        gen, impl, eff_read, eff_write, sig = entry
+        for log in logs_get():
+            log.record(eff_read, eff_write)
+        if impl is None:
+            raise SynRuntimeError(
+                f"method {sig.qualified_name} has no implementation"
+            )
+        try:
+            return impl(rt, receiver, *args)
+        except (SynRuntimeError, NoMethodError):
+            raise
+        except (TypeError, ValueError, KeyError, AttributeError, IndexError) as exc:
+            raise SynRuntimeError(
+                f"error calling {sig.qualified_name}: {exc}"
+            ) from exc
+
+    return run
+
+
+def _receiver_type(receiver: Any, cls_name: str, singleton: bool):
+    from repro.lang import types as T
+
+    if singleton:
+        return T.SingletonClassType(cls_name)
+    return T.ClassType(cls_name)
+
+
+_COMPILERS: Dict[type, Callable[[Any], CompiledFn]] = {
+    A.NilLit: _compile_nil,
+    A.BoolLit: _compile_bool,
+    A.IntLit: _compile_int,
+    A.StrLit: _compile_str,
+    A.SymLit: _compile_sym,
+    A.ConstRef: _compile_const_ref,
+    A.Var: _compile_var,
+    A.TypedHole: _compile_hole,
+    A.EffectHole: _compile_hole,
+    A.Seq: _compile_seq,
+    A.Let: _compile_let,
+    A.HashLit: _compile_hash,
+    A.MethodCall: _compile_call,
+    A.If: _compile_if,
+    A.Not: _compile_not,
+    A.Or: _compile_or,
+    A.MethodDef: _compile_method_def,
+}

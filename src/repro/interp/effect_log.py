@@ -28,8 +28,12 @@ class EffectLog:
         self.calls: int = 0
 
     def record(self, read: Effect = PURE, write: Effect = PURE) -> None:
-        self.read = self.read | read
-        self.write = self.write | write
+        # Identity fast paths: substrate effects are interned (Effect.region),
+        # so after the first log of a region, re-logging it is a pointer test.
+        if read is not self.read and read is not PURE:
+            self.read = self.read | read
+        if write is not self.write and write is not PURE:
+            self.write = self.write | write
         self.calls += 1
 
     def record_pair(self, pair: EffectPair) -> None:

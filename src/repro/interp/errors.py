@@ -19,6 +19,20 @@ class SynRuntimeError(Exception):
     """A runtime error while evaluating a candidate or a spec."""
 
 
+class CallBudgetExceeded(SynRuntimeError):
+    """Raised when an evaluation exceeds the interpreter's call budget.
+
+    The budget is shared across nested ``eval``/``call_program`` entries of
+    one outermost evaluation (a method implementation that re-enters the
+    interpreter draws from the same allowance) and is charged identically by
+    every evaluation backend.
+    """
+
+    def __init__(self, max_calls: int) -> None:
+        super().__init__(f"call budget exhausted (max {max_calls} calls)")
+        self.max_calls = max_calls
+
+
 class NoMethodError(SynRuntimeError):
     """Raised when a receiver has no method of the requested name."""
 

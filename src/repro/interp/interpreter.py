@@ -7,6 +7,22 @@ implementation callable performs the actual work against the substrate, and
 the method's resolved effect annotation is recorded into any active effect
 capture (rule E-MethCall of Appendix A.1).
 
+Since PR 6 the :class:`Interpreter` is the shared *evaluation context* --
+class table, call budget, constant lookup and runtime method dispatch --
+while the AST traversal itself is delegated to a pluggable
+:class:`~repro.interp.backend.EvalBackend`:
+
+* ``backend="tree"`` walks the AST node by node (the definitional
+  semantics);
+* ``backend="compiled"`` (the default) closes each unique hash-consed
+  subtree into a chain of cached Python closures
+  (:mod:`repro.interp.compile`).
+
+The call budget is shared across *nested* ``eval``/``call_program`` entries:
+a method implementation that re-enters the interpreter draws from the same
+allowance as the outermost evaluation, and exceeding it raises
+:class:`~repro.interp.errors.CallBudgetExceeded` from either backend.
+
 Expressions containing holes are not evaluable; attempting to evaluate one
 raises :class:`~repro.interp.errors.SynRuntimeError`, mirroring the
 ``evaluable`` side condition of Algorithm 2.
@@ -14,31 +30,53 @@ raises :class:`~repro.interp.errors.SynRuntimeError`, mirroring the
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Mapping, Optional, Union
 
 from repro.lang import ast as A
 from repro.lang import values as V
-from repro.lang.values import ClassValue, HashValue, Symbol, truthy
+from repro.lang.values import ClassValue, HashValue
+from repro.interp.backend import EvalBackend, resolve_backend
 from repro.interp.effect_log import log_effect
-from repro.interp.errors import NoMethodError, SynRuntimeError, UnboundVariableError
+from repro.interp.errors import (
+    CallBudgetExceeded,
+    NoMethodError,
+    SynRuntimeError,
+)
 from repro.typesys.class_table import ClassTable, MethodSig
 
 
 class Interpreter:
     """Evaluates lambda-syn expressions against a class table."""
 
-    def __init__(self, class_table: ClassTable, max_calls: int = 100_000) -> None:
+    def __init__(
+        self,
+        class_table: ClassTable,
+        max_calls: int = 100_000,
+        backend: Union[str, EvalBackend, None] = None,
+    ) -> None:
         self.class_table = class_table
         self.max_calls = max_calls
+        self.backend = resolve_backend(backend)
         self._calls = 0
+        self._depth = 0
 
     # -- public API ----------------------------------------------------------
 
     def eval(self, expr: A.Node, env: Optional[Mapping[str, Any]] = None) -> Any:
-        """Evaluate ``expr`` in dynamic environment ``env``."""
+        """Evaluate ``expr`` in dynamic environment ``env``.
 
-        self._calls = 0
-        return self._eval(expr, dict(env or {}))
+        The call budget resets only on *outermost* entries: nested
+        evaluations (method implementations re-entering the interpreter)
+        share the outer evaluation's budget instead of silently wiping it.
+        """
+
+        if self._depth == 0:
+            self._calls = 0
+        self._depth += 1
+        try:
+            return self.backend.run(self, expr, dict(env or {}))
+        finally:
+            self._depth -= 1
 
     def call_program(self, program: A.MethodDef, *args: Any) -> Any:
         """Invoke a synthesized method definition with the given arguments."""
@@ -48,60 +86,31 @@ class Interpreter:
                 f"{program.name} expects {len(program.params)} arguments, "
                 f"got {len(args)}"
             )
-        env = dict(zip(program.params, args))
-        return self.eval(program.body, env)
+        # Inlined ``eval`` (this is the per-candidate entry point of the
+        # search): the zipped env is already a fresh dict, so the defensive
+        # copy ``eval`` makes for caller-owned envs is skipped.
+        if self._depth == 0:
+            self._calls = 0
+        self._depth += 1
+        try:
+            return self.backend.run(self, program.body, dict(zip(program.params, args)))
+        finally:
+            self._depth -= 1
 
-    # -- evaluation ----------------------------------------------------------
+    # -- shared evaluation context --------------------------------------------
 
-    def _eval(self, expr: A.Node, env: Dict[str, Any]) -> Any:
-        if isinstance(expr, A.NilLit):
-            return None
-        if isinstance(expr, A.BoolLit):
-            return expr.value
-        if isinstance(expr, A.IntLit):
-            return expr.value
-        if isinstance(expr, A.StrLit):
-            return expr.value
-        if isinstance(expr, A.SymLit):
-            return Symbol(expr.name)
-        if isinstance(expr, A.ConstRef):
-            return self._const(expr.name)
-        if isinstance(expr, A.Var):
-            if expr.name not in env:
-                raise UnboundVariableError(expr.name)
-            return env[expr.name]
-        if isinstance(expr, (A.TypedHole, A.EffectHole)):
-            raise SynRuntimeError("cannot evaluate an expression containing holes")
-        if isinstance(expr, A.Seq):
-            self._eval(expr.first, env)
-            return self._eval(expr.second, env)
-        if isinstance(expr, A.Let):
-            value = self._eval(expr.value, env)
-            inner = dict(env)
-            inner[expr.var] = value
-            return self._eval(expr.body, inner)
-        if isinstance(expr, A.HashLit):
-            return HashValue(
-                {Symbol(key): self._eval(value, env) for key, value in expr.entries}
-            )
-        if isinstance(expr, A.MethodCall):
-            return self._call(expr, env)
-        if isinstance(expr, A.If):
-            if truthy(self._eval(expr.cond, env)):
-                return self._eval(expr.then_branch, env)
-            return self._eval(expr.else_branch, env)
-        if isinstance(expr, A.Not):
-            return not truthy(self._eval(expr.expr, env))
-        if isinstance(expr, A.Or):
-            left = self._eval(expr.left, env)
-            if truthy(left):
-                return left
-            return self._eval(expr.right, env)
-        if isinstance(expr, A.MethodDef):
-            return self._eval(expr.body, env)
-        raise SynRuntimeError(f"cannot evaluate {expr!r}")
+    def charge_call(self) -> None:
+        """Charge one method call against the (nesting-shared) budget."""
 
-    # -- helpers -------------------------------------------------------------
+        self._calls += 1
+        if self._calls > self.max_calls:
+            raise CallBudgetExceeded(self.max_calls)
+
+    @property
+    def calls_charged(self) -> int:
+        """Method calls charged so far in the current outermost evaluation."""
+
+        return self._calls
 
     def _const(self, name: str) -> Any:
         pyclass = self.class_table.pyclass(name)
@@ -110,15 +119,6 @@ class Interpreter:
         if self.class_table.has_class(name):
             return ClassValue(name)
         raise SynRuntimeError(f"unknown constant {name}")
-
-    def _call(self, expr: A.MethodCall, env: Dict[str, Any]) -> Any:
-        self._calls += 1
-        if self._calls > self.max_calls:
-            raise SynRuntimeError("call budget exhausted")
-
-        receiver = self._eval(expr.receiver, env)
-        args = [self._eval(arg, env) for arg in expr.args]
-        return self.call_method(receiver, expr.name, args)
 
     def call_method(self, receiver: Any, name: str, args: list[Any]) -> Any:
         """Dispatch ``receiver.name(*args)`` through the class table."""

@@ -335,6 +335,30 @@ def free_variables(node: Node, bound: frozenset[str] = frozenset()) -> frozenset
     return result
 
 
+def free_vars(node: Node) -> frozenset[str]:
+    """``free_variables(node)`` memoized per (immutable) node.
+
+    The incremental typechecker keys its per-node memo by the types of the
+    node's free variables, so this is consulted on every cached check; like
+    ``node_count`` the memo is shared by every candidate containing the
+    (interned) subtree.
+    """
+
+    cached = node.__dict__.get("_free_vars") if hasattr(node, "__dict__") else None
+    if cached is not None:
+        return cached
+    if isinstance(node, Var):
+        result = frozenset({node.name})
+    elif isinstance(node, Let):
+        result = free_vars(node.value) | (free_vars(node.body) - {node.var})
+    else:
+        result = frozenset()
+        for _, child in node.children():
+            result |= free_vars(child)
+    object.__setattr__(node, "_free_vars", result)
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Hole location and replacement
 # ---------------------------------------------------------------------------

@@ -97,7 +97,19 @@ class Effect:
 
     @staticmethod
     def region(cls: str, region: Optional[str] = None) -> "Effect":
-        return Effect(frozenset({Region(cls, region)}))
+        """The single-atom effect ``cls.region`` (memoized).
+
+        Substrate methods log their effect on every call, so the atoms are
+        interned: repeated logs of the same region return the identical
+        ``Effect`` object, which the log's union fast paths exploit.
+        """
+
+        key = (cls, region)
+        effect = _REGION_EFFECTS.get(key)
+        if effect is None:
+            effect = Effect(frozenset({Region(cls, region)}))
+            _REGION_EFFECTS[key] = effect
+        return effect
 
     # -- predicates ---------------------------------------------------------
 
@@ -110,6 +122,14 @@ class Effect:
     def union(self, other: "Effect") -> "Effect":
         if self.is_star or other.is_star:
             return _STAR
+        # Absorption fast paths: effect logs union the same few interned
+        # atoms millions of times, and most unions add nothing new.
+        if not other.regions:
+            return self
+        if not self.regions:
+            return other
+        if other.regions <= self.regions:
+            return self
         return Effect(self.regions | other.regions)
 
     def __or__(self, other: "Effect") -> "Effect":
@@ -142,6 +162,10 @@ class Effect:
 
 _PURE = Effect()
 _STAR = Effect(frozenset(), True)
+
+#: Interned single-atom effects (see :meth:`Effect.region`).  The key space
+#: is (class name, column name) pairs, bounded by the app's schema.
+_REGION_EFFECTS: dict[Tuple[str, Optional[str]], Effect] = {}
 
 PURE = _PURE
 STAR = _STAR

@@ -76,6 +76,14 @@ class HashValue:
     def of(**kwargs: Any) -> "HashValue":
         return HashValue({Symbol(k): v for k, v in kwargs.items()})
 
+    @staticmethod
+    def from_owned(entries: Dict[Symbol, Any]) -> "HashValue":
+        """Wrap a freshly built dict without copying (caller cedes ownership)."""
+
+        value = HashValue.__new__(HashValue)
+        value._entries = entries
+        return value
+
     def get(self, key: Symbol, default: Any = None) -> Any:
         return self._entries.get(key, default)
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.interp.backend import BACKEND_NAMES, default_backend_name
 from repro.lang.effects import PRECISION_PRECISE
 
 #: Exploration orders for the work list (Section 4, "Program Exploration Order").
@@ -92,6 +93,14 @@ class SynthConfig:
     # periodic full rebuild.
     verify_recordings: int = 0
 
+    # Evaluation backend (repro.interp).  ``"compiled"`` (the default) closes
+    # each unique hash-consed subtree into a cached chain of Python closures;
+    # ``"tree"`` is the definitional AST walker.  Both are observably
+    # identical (values, effect logs, call budgets, error types).  The
+    # process-wide default honors the ``REPRO_EVAL_BACKEND`` environment
+    # variable, which CI uses to run the test suite on the tree fallback.
+    eval_backend: str = field(default_factory=default_backend_name)
+
     # ------------------------------------------------------------------ modes
 
     def with_mode(self, use_types: bool, use_effects: bool) -> "SynthConfig":
@@ -140,3 +149,8 @@ class SynthConfig:
             raise ValueError("spec_cache_max_entries must be positive")
         if self.verify_recordings < 0:
             raise ValueError("verify_recordings must be >= 0 (0 disables)")
+        if self.eval_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown eval backend {self.eval_backend!r} "
+                f"(expected one of {', '.join(BACKEND_NAMES)})"
+            )

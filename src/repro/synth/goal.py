@@ -311,6 +311,7 @@ def evaluate_spec(
     cache: Optional["SynthCache"] = None,
     state: Optional["StateManager"] = None,
     interpreter: Optional[Interpreter] = None,
+    backend: Optional[str] = None,
 ) -> SpecOutcome:
     """Reset global state, run the spec's setup, then its postcondition.
 
@@ -322,14 +323,21 @@ def evaluate_spec(
     With a ``state`` manager, the reset closure and the setup's seed work
     are replaced by copy-on-write snapshot restores once the spec has been
     recorded (:mod:`repro.synth.state`).  ``interpreter`` lets callers batch
-    several evaluations in one interpreter session (``evaluate_all_specs``).
+    several evaluations in one interpreter session (``evaluate_all_specs``);
+    ``backend`` selects the evaluation backend for interpreters constructed
+    here (``None`` means the process default; see
+    :attr:`repro.synth.config.SynthConfig.eval_backend`).
     """
 
     if cache is not None:
         memoized = cache.lookup_spec(problem, program, spec)
         if memoized is not None:
             return memoized
-    interp = interpreter if interpreter is not None else Interpreter(problem.class_table)
+    interp = (
+        interpreter
+        if interpreter is not None
+        else Interpreter(problem.class_table, backend=backend)
+    )
     ctx = SpecContext(problem, program, interp)
     # The state-restore phase is infrastructure: a crashing reset closure or
     # corrupt snapshot must propagate, not be misread (and memoized) as a
@@ -369,6 +377,7 @@ def evaluate_all_specs(
     budget: Optional["Budget"] = None,
     stats: Optional["SearchStats"] = None,
     state: Optional["StateManager"] = None,
+    backend: Optional[str] = None,
 ) -> bool:
     """Whether ``program`` passes every spec (used by merge validation).
 
@@ -381,7 +390,9 @@ def evaluate_all_specs(
     """
 
     interpreter = (
-        Interpreter(problem.class_table) if state is not None else None
+        Interpreter(problem.class_table, backend=backend)
+        if state is not None
+        else None
     )
     for spec in specs if specs is not None else problem.specs:
         if budget is not None and budget.expired():
@@ -391,7 +402,13 @@ def evaluate_all_specs(
                 f"timeout while validating {program.name!r} against specs"
             )
         outcome = evaluate_spec(
-            problem, program, spec, cache=cache, state=state, interpreter=interpreter
+            problem,
+            program,
+            spec,
+            cache=cache,
+            state=state,
+            interpreter=interpreter,
+            backend=backend,
         )
         if not outcome.ok:
             return False
@@ -405,6 +422,7 @@ def evaluate_guard(
     expect: bool,
     cache: Optional["SynthCache"] = None,
     state: Optional["StateManager"] = None,
+    backend: Optional[str] = None,
 ) -> bool:
     """Whether ``guard`` (as the whole method body) evaluates to ``expect``.
 
@@ -424,7 +442,7 @@ def evaluate_guard(
         memoized = cache.lookup_guard(problem, program, spec)
         if memoized is not MISSING:
             return memoized is not None and memoized == expect
-    interpreter = Interpreter(problem.class_table)
+    interpreter = Interpreter(problem.class_table, backend=backend)
     ctx = SpecContext(problem, program, interpreter)
     # As in evaluate_spec, restore failures are infrastructure errors and
     # propagate; only the guard's own execution can reject it.

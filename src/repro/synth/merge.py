@@ -272,12 +272,14 @@ class Merger:
             _guard_holds(
                 self.problem, negated, spec, expect=True,
                 cache=self.cache, state=self.state,
+                backend=self.config.eval_backend,
             )
             for spec in second.specs
         ) and all(
             _guard_holds(
                 self.problem, negated, spec, expect=False,
                 cache=self.cache, state=self.state,
+                backend=self.config.eval_backend,
             )
             for spec in first.specs
         ):
@@ -383,6 +385,7 @@ class Merger:
             budget=self.budget,
             stats=self.stats,
             state=self.state,
+            backend=self.config.eval_backend,
         )
 
     def _strengthen_all(
@@ -423,10 +426,13 @@ def _guard_holds(
     expect: bool,
     cache: Optional[SynthCache] = None,
     state: Optional[StateManager] = None,
+    backend: Optional[str] = None,
 ) -> bool:
     from repro.synth.goal import evaluate_guard
 
-    return evaluate_guard(problem, guard, spec, expect, cache=cache, state=state)
+    return evaluate_guard(
+        problem, guard, spec, expect, cache=cache, state=state, backend=backend
+    )
 
 
 def _orderings(solutions: List[SpecSolution]) -> List[Tuple[SpecSolution, ...]]:

@@ -654,7 +654,7 @@ def run_synthesis_parallel(
             simplified = simplify(task.expr)
             if not evaluate_spec(
                 problem, problem.make_program(simplified), spec, cache=cache,
-                state=state,
+                state=state, backend=config.eval_backend,
             ).ok:
                 simplified = task.expr
             solutions.append(SpecSolution(expr=simplified, specs=(spec,)))

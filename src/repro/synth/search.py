@@ -222,7 +222,12 @@ def generate_for_spec(
 
             stats.evaluated += 1
             outcome = evaluate_spec(
-                problem, problem.make_program(candidate), spec, cache=cache, state=state
+                problem,
+                problem.make_program(candidate),
+                spec,
+                cache=cache,
+                state=state,
+                backend=config.eval_backend,
             )
             if outcome.ok:
                 return candidate
@@ -268,12 +273,24 @@ def generate_guard(
         stats.evaluated += 1
         for spec in positive_specs:
             if not evaluate_guard(
-                problem, guard, spec, expect=True, cache=cache, state=state
+                problem,
+                guard,
+                spec,
+                expect=True,
+                cache=cache,
+                state=state,
+                backend=config.eval_backend,
             ):
                 return False
         for spec in negative_specs:
             if not evaluate_guard(
-                problem, guard, spec, expect=False, cache=cache, state=state
+                problem,
+                guard,
+                spec,
+                expect=False,
+                cache=cache,
+                state=state,
+                backend=config.eval_backend,
             ):
                 return False
         return True

@@ -184,7 +184,7 @@ def run_synthesis(
             simplified = simplify(expr)
             if not evaluate_spec(
                 problem, problem.make_program(simplified), spec, cache=cache,
-                state=state,
+                state=state, backend=config.eval_backend,
             ).ok:
                 simplified = expr
             solutions.append(SpecSolution(expr=simplified, specs=(spec,)))
@@ -294,7 +294,12 @@ def _adopt_hint(
         stats.timed_out = True
         raise SynthesisTimeout(f"timeout while re-validating {spec.name!r}")
     outcome = evaluate_spec(
-        problem, problem.make_program(hint), spec, cache=cache, state=state
+        problem,
+        problem.make_program(hint),
+        spec,
+        cache=cache,
+        state=state,
+        backend=config.eval_backend,
     )
     if not outcome.ok:
         return None
@@ -329,7 +334,7 @@ def _reuse_solution(
             )
         outcome = evaluate_spec(
             problem, problem.make_program(solution.expr), spec, cache=cache,
-            state=state,
+            state=state, backend=config.eval_backend,
         )
         if outcome.ok:
             solutions[i] = solution.covering(spec)

@@ -87,6 +87,14 @@ class ResolvedSig:
     effects: EffectPair
 
 
+#: Process-wide source of :attr:`ClassTable.generation` tokens.  Tokens are
+#: unique across table *instances* and bumped on every mutation, so external
+#: memos keyed by generation (the compiled backend's per-callsite dispatch
+#: caches, the incremental typechecker's node memos) can never be served
+#: stale -- not even through ``id()`` reuse after a table is collected.
+_GENERATIONS = iter(range(1, 2**63))
+
+
 class ClassTable:
     """The class table ``CT``: classes, methods and class constants."""
 
@@ -94,6 +102,7 @@ class ClassTable:
         self._classes: Dict[str, ClassInfo] = {}
         self._methods: Dict[Tuple[str, str, bool], MethodSig] = {}
         self.effect_precision = effect_precision
+        self._generation = next(_GENERATIONS)
         # Memo tables; synthesis resolves the same signatures and checks the
         # same subtype pairs millions of times, so these are load-bearing.
         # The resolve cache is keyed by the signature's identity (signatures
@@ -103,7 +112,19 @@ class ClassTable:
         for name, superclass in T.BUILTIN_CLASSES.items():
             self._classes[name] = ClassInfo(name, superclass)
 
+    @property
+    def generation(self) -> int:
+        """A mutation-aware identity token for externally keyed memos.
+
+        Distinct tables never share a generation, and any mutation of this
+        table (``add_class``/``add_method``/``remove_method``) moves it to a
+        fresh one, so a memo entry keyed by generation is valid forever.
+        """
+
+        return self._generation
+
     def _invalidate_caches(self) -> None:
+        self._generation = next(_GENERATIONS)
         self._resolve_cache.clear()
         self._subtype_cache.clear()
         self._resolved_methods: Optional[List[ResolvedSig]] = None
@@ -173,7 +194,8 @@ class ClassTable:
             self.add_method(sig)
 
     def remove_method(self, owner: str, name: str, singleton: bool = False) -> None:
-        self._methods.pop((owner, name, singleton), None)
+        if self._methods.pop((owner, name, singleton), None) is not None:
+            self._invalidate_caches()
 
     def methods(self) -> List[MethodSig]:
         return list(self._methods.values())

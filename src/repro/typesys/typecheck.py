@@ -11,11 +11,23 @@ The typechecker serves two purposes during synthesis:
 Expressions may contain holes: a typed hole has its annotated type (T-Hole)
 and an effect hole has type ``Object`` (T-EffObj), the top of the lattice, so
 it can later be replaced by a term of any type.
+
+Since PR 6 ``check_expr`` is *incremental*: the synthesized type of every
+compound subtree is memoized on the (immutable, interned) node, keyed by the
+class table's mutation-aware ``generation`` token and the types its free
+variables have in the current environment.  Filling a hole rebuilds only the
+root-to-hole spine (``replace_at`` shares every off-path subtree), so
+re-checking the narrowed candidate recomputes just that spine while every
+shared subtree answers from its memo -- the whole-tree walk the enumerator
+used to pay per expansion collapses to the hole path.  Ill-typed subtrees
+memoize their rejection too, so repeated narrowing failures are equally
+cheap.  The memo slot (``_type_memo``) is underscore-prefixed and therefore
+dropped by the AST pickle hook, like the other per-node memos.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Tuple
 
 from repro.lang import ast as A
 from repro.lang import types as T
@@ -54,6 +66,24 @@ def receiver_lookup(
     return ct.resolve(sig, receiver_type)
 
 
+#: Node classes whose synthesized type is memoized.  Leaves are cheaper to
+#: re-derive than to look up, so only compound nodes carry a memo.
+_MEMOIZED_NODES = (
+    A.Seq,
+    A.Let,
+    A.HashLit,
+    A.MethodCall,
+    A.If,
+    A.Not,
+    A.Or,
+    A.MethodDef,
+)
+
+#: Per-node memos are cleared beyond this many entries (distinct class-table
+#: generations / free-variable typings); real searches stay far below it.
+_TYPE_MEMO_LIMIT = 64
+
+
 def check_expr(
     expr: A.Node,
     env: Mapping[str, T.Type],
@@ -62,8 +92,67 @@ def check_expr(
     """Compute the type of ``expr`` under ``env``; raise :class:`SynTypeError`.
 
     ``env`` maps variable names (method parameters and ``let`` binders) to
-    their types.
+    their types.  Compound subtrees answer from their per-node memo when the
+    class table and the types of their free variables match a prior check
+    (see the module docstring).
     """
+
+    if not isinstance(expr, _MEMOIZED_NODES):
+        return _check_structural(expr, env, ct)
+    key = _memo_key(expr, env, ct)
+    if key is None:
+        return _check_structural(expr, env, ct)
+    memo = expr.__dict__.get("_type_memo")
+    if memo is not None:
+        hit = memo.get(key)
+        if hit is not None:
+            ok, payload = hit
+            if ok:
+                return payload
+            raise SynTypeError(payload)
+    try:
+        result = _check_structural(expr, env, ct)
+    except SynTypeError as error:
+        _memo_store(expr, memo, key, (False, str(error)))
+        raise
+    _memo_store(expr, memo, key, (True, result))
+    return result
+
+
+def _memo_key(
+    expr: A.Node, env: Mapping[str, T.Type], ct: ClassTable
+) -> Optional[Tuple]:
+    """The memo key for checking ``expr`` under ``env`` and ``ct``.
+
+    ``None`` opts out of caching: a free variable missing from ``env`` will
+    raise the usual unbound-variable error on the structural path.
+    """
+
+    if not hasattr(expr, "__dict__"):
+        return None
+    names = A.free_vars(expr)
+    try:
+        typing = tuple((name, env[name]) for name in sorted(names))
+    except KeyError:
+        return None
+    return (ct.generation, typing)
+
+
+def _memo_store(expr: A.Node, memo: Optional[dict], key: Tuple, entry: Tuple) -> None:
+    if memo is None:
+        memo = {}
+        object.__setattr__(expr, "_type_memo", memo)
+    elif len(memo) >= _TYPE_MEMO_LIMIT:
+        memo.clear()
+    memo[key] = entry
+
+
+def _check_structural(
+    expr: A.Node,
+    env: Mapping[str, T.Type],
+    ct: ClassTable,
+) -> T.Type:
+    """The structural T- rules (one level; children go through the memo)."""
 
     if isinstance(expr, A.NilLit):
         return T.NIL

@@ -10,6 +10,7 @@ import dataclasses
 import pytest
 
 from repro.benchmarks import get_benchmark, run_benchmark
+from repro.interp import Interpreter
 from repro.synth import SynthConfig, SynthesisSession
 from repro.synth.cache import CacheStats
 from repro.synth.search import SearchStats
@@ -241,6 +242,66 @@ def test_hints_do_not_cross_configs():
     # The precision variant runs on a derived problem with its own hint
     # space, so its first run must have searched.
     assert coarse.stats.hint_reuses == 0
+
+
+# ---------------------------------------------------------------------------
+# Pickle safety of per-node memo slots
+# ---------------------------------------------------------------------------
+
+
+def test_ast_memo_slots_are_dropped_on_pickle(orm_class_table):
+    """Compiled closures and type memos must never cross process boundaries.
+
+    Workers receive ASTs by pickle; a compiled closure (which may capture a
+    dispatch cache over the parent's class table) or a type/free-var memo
+    smuggled through would at best be stale and at worst unpicklable.  The
+    ``_memoless_state`` hook drops every underscore-prefixed slot -- this
+    pins that contract for the slots PR 6 added.
+    """
+
+    import pickle
+
+    from repro.interp.compile import compile_node, is_compiled
+    from repro.lang import ast as A
+    from repro.lang import types as T
+    from repro.typesys.typecheck import check_expr
+
+    expr = A.Let("v", A.IntLit(5), A.call(A.Var("v"), "+", A.IntLit(1)))
+    # Populate every per-node memo the evaluation pipeline writes.
+    compile_node(expr)
+    check_expr(expr, {}, orm_class_table)
+    A.free_vars(expr)
+    assert is_compiled(expr)
+    assert "_type_memo" in expr.__dict__
+    assert "_free_vars" in expr.__dict__
+
+    revived = pickle.loads(pickle.dumps(expr))
+    for node in [revived] + [child for _, child in revived.children()]:
+        memo_slots = [k for k in node.__dict__ if k.startswith("_")]
+        assert memo_slots == [], f"pickled node carries memos: {memo_slots}"
+
+    # The revived tree is fully usable: it evaluates (recompiling fresh
+    # closures on this side of the boundary) and typechecks.
+    interp = Interpreter(orm_class_table, backend="compiled")
+    assert interp.eval(revived) == 6
+    assert check_expr(revived, {}, orm_class_table) == T.INT
+
+
+def test_pickled_program_evaluates_identically_after_compilation(orm_class_table):
+    import pickle
+
+    from repro.interp.compile import compile_node
+    from repro.lang import ast as A
+
+    program = A.MethodDef(
+        "m", ("arg0",), A.call(A.Var("arg0"), "+", A.IntLit(2))
+    )
+    compile_node(program.body)
+    before = Interpreter(orm_class_table, backend="compiled").call_program(program, 3)
+    revived = pickle.loads(pickle.dumps(program))
+    assert "_compiled" not in revived.body.__dict__
+    after = Interpreter(orm_class_table, backend="compiled").call_program(revived, 3)
+    assert before == after == 5
 
 
 # ---------------------------------------------------------------------------

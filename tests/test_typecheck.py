@@ -142,3 +142,85 @@ def test_union_receiver_requires_method_on_all_members(orm_class_table):
     env = {"x": T.union(T.ClassType("Post"), T.ClassType("Draft"))}
     with pytest.raises(SynTypeError):
         check(A.call(A.Var("x"), "title"), orm_class_table, env)
+
+
+# ---------------------------------------------------------------------------
+# Incremental typechecking (the per-node _type_memo added in PR 6)
+# ---------------------------------------------------------------------------
+
+
+def _count_structural(monkeypatch):
+    """Route ``_check_structural`` through a counter, returning the call log."""
+
+    from repro.typesys import typecheck as TC
+
+    calls = []
+    real = TC._check_structural
+
+    def wrapper(expr, env, ct):
+        calls.append(type(expr).__name__)
+        return real(expr, env, ct)
+
+    monkeypatch.setattr(TC, "_check_structural", wrapper)
+    return calls
+
+
+def test_type_memo_answers_repeat_checks(orm_class_table, monkeypatch):
+    expr = A.Let("v", A.IntLit(1), A.call(A.Var("v"), "+", A.IntLit(2)))
+    assert check(expr, orm_class_table) == T.INT
+    calls = _count_structural(monkeypatch)
+    assert check(expr, orm_class_table) == T.INT
+    # The root answered from its memo: no structural re-derivation at all.
+    assert calls == []
+
+
+def test_type_memo_caches_rejections(orm_class_table, monkeypatch):
+    expr = A.call(A.NIL, "title")
+    with pytest.raises(SynTypeError) as first:
+        check(expr, orm_class_table)
+    calls = _count_structural(monkeypatch)
+    with pytest.raises(SynTypeError) as second:
+        check(expr, orm_class_table)
+    assert str(second.value) == str(first.value)
+    assert calls == []
+
+
+def test_type_memo_is_env_sensitive(orm_class_table):
+    expr = A.call(A.Var("v"), "+", A.IntLit(1))
+    assert check(expr, orm_class_table, {"v": T.INT}) == T.INT
+    with pytest.raises(SynTypeError):
+        check(expr, orm_class_table, {"v": T.NIL})
+    # Both outcomes stay memoized side by side, keyed by the free variable's
+    # type -- re-checks under either env remain correct.
+    assert check(expr, orm_class_table, {"v": T.INT}) == T.INT
+    with pytest.raises(SynTypeError):
+        check(expr, orm_class_table, {"v": T.NIL})
+
+
+def test_type_memo_invalidated_by_table_mutation(orm_class_table):
+    from repro.typesys.class_table import MethodSig
+
+    ct = orm_class_table
+    ct.add_method(MethodSig(owner="Integer", name="frob", arg_types=(), ret_type=T.INT))
+    expr = A.call(A.IntLit(3), "frob")
+    assert check(expr, ct) == T.INT
+    # Mutating the table bumps its generation, so the stale memo entry is
+    # bypassed and the new signature is seen.
+    ct.remove_method("Integer", "frob")
+    ct.add_method(
+        MethodSig(owner="Integer", name="frob", arg_types=(), ret_type=T.STRING)
+    )
+    assert check(expr, ct) == T.STRING
+
+
+def test_hole_fill_rechecks_only_the_spine(orm_class_table, monkeypatch):
+    shared = A.call(A.IntLit(1), "+", A.IntLit(2))
+    expr = A.Seq(shared, A.call(A.TypedHole(T.INT), "+", shared))
+    assert check(expr, orm_class_table) == T.INT
+    filled = A.fill_first_hole(expr, A.IntLit(5))
+    calls = _count_structural(monkeypatch)
+    assert check(filled, orm_class_table) == T.INT
+    # Only the rebuilt root-to-hole spine (the Seq and the call holding the
+    # hole) is re-derived; the shared off-path subtree answers from its memo.
+    assert calls.count("Seq") == 1
+    assert calls.count("MethodCall") == 1
