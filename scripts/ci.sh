@@ -104,4 +104,12 @@ python benchmarks/bench_parallel.py \
     --out "$PARALLEL_REPORT" \
     --check
 
-echo "== ok: reports at $INTERP_REPORT, $REPORT, $STATE_REPORT, $STORE_REPORT and $PARALLEL_REPORT =="
+echo "== orm index gate (1e5-row lookup battery + seeded scale smoke) =="
+ORM_REPORT="${CI_ORM_REPORT:-BENCH_orm.json}"
+python benchmarks/bench_orm.py \
+    --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
+    --out "$ORM_REPORT" \
+    --min-benchmarks 3 \
+    --check
+
+echo "== ok: reports at $INTERP_REPORT, $REPORT, $STATE_REPORT, $STORE_REPORT, $PARALLEL_REPORT and $ORM_REPORT =="

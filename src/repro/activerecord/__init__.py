@@ -19,13 +19,25 @@ We reproduce the slice of ActiveRecord those benchmarks exercise:
   extends RDL's metaprogramming-generated annotations with effects.
 """
 
-from repro.activerecord.database import Database
+from repro.activerecord.database import (
+    Database,
+    QueryPlan,
+    QueryStats,
+    TableSnapshot,
+    default_indexing,
+    set_default_indexing,
+)
 from repro.activerecord.model import Model, create_model
 from repro.activerecord.relation import Relation
 from repro.activerecord.annotations import register_activerecord, register_model
 
 __all__ = [
     "Database",
+    "QueryPlan",
+    "QueryStats",
+    "TableSnapshot",
+    "default_indexing",
+    "set_default_indexing",
     "Model",
     "create_model",
     "Relation",

@@ -2,14 +2,14 @@
 
 Tables are named collections of rows; rows are plain ``dict`` objects with an
 auto-assigned integer ``id``.  The database exposes exactly the operations
-the ORM layer needs (insert/select/update/delete/count) plus ``reset``, the
+the ORM layer needs (insert/query/update/delete/count) plus ``reset``, the
 hook RbSyn uses to give every candidate program a clean slate (Section 4,
 "optional hooks for resetting the global state").
 
 State isolation guarantees:
 
 * Rows handed across the table boundary (``insert``/``get``/``all``/
-  ``select`` return values, ``insert``/``update`` arguments) are copied,
+  ``query`` return values, ``insert``/``update`` arguments) are copied,
   including nested mutable values, so a candidate program can never mutate
   stored state through a stale reference.
 * ``snapshot()``/``restore()`` are an exact round-trip of the whole database
@@ -22,12 +22,60 @@ State isolation guarantees:
   The globals dict is copy-on-write too: when all its values are atomic it
   is shared with the snapshot by reference and the next
   ``set_global``/``delete_global`` pays for the copy.
+
+Indexed queries:
+
+* Each table lazily builds hash indexes (``{value: {row_id, ...}}``) on the
+  columns equality queries filter by -- built on the first indexed lookup
+  (``Table.index_on``) and maintained incrementally by ``insert``/``update``/
+  ``delete``/``clear``.  Index buckets follow dict-key equivalence, which
+  matches ``==`` for hashable values (``1 == 1.0 == True`` share a bucket),
+  so an indexed lookup returns exactly the rows a scan would; the two
+  exceptions are handled by the planner: NaN query values (identity-match in
+  a dict, ``==``-miss in a scan) never use an index, and columns holding
+  unhashable values are marked unindexable and fall back to scans.
+* The planner (``Table.plan`` / ``Database.query``) picks the most selective
+  indexed equality column (smallest bucket), filters the residual conditions
+  against the candidate rows, and falls back to a scan when no index
+  applies.  ``Database.count``/``exists`` short-circuit without copying any
+  rows.  Every executed plan is an explainable :class:`QueryPlan` (``kind``,
+  ``index_column``, ``rows_examined``) surfaced via ``Database.last_plan``
+  and aggregated into :class:`QueryStats`.
+* Indexes participate in the snapshot machinery: ``dump`` hands the live
+  index cache to the :class:`TableSnapshot` entry, ``adopt`` installs a
+  snapshot's cached indexes copy-on-write (two levels: the outer
+  value->bucket dict, then individual bucket sets, are copied just before
+  the first write), and ``index_on`` publishes indexes built while a table
+  is still byte-identical to its snapshot back into that snapshot, so
+  repeated restore/evaluate loops never rebuild an index from scratch.  A
+  mutation "diverges" the table from its snapshot (``_origin = None``) so a
+  post-snapshot write can never leak into the snapshot's cached indexes.
+  Snapshot equality ignores the index cache entirely: :class:`TableSnapshot`
+  is a ``dict`` subclass that keeps the cache in slots, outside ``==``.
+
+Ordering invariant: a table's row mapping is kept in ascending-id insertion
+order (``next_id`` is monotonic, in-place updates keep dict positions, and
+``adopt`` preserves the dump's order), so ``sorted(bucket)`` reproduces scan
+order exactly.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set
+import os
+from dataclasses import dataclass, fields as _dataclass_fields
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 #: Values that need no copying when rows cross the table boundary.  Rows made
 #: only of these (the overwhelmingly common case) are copied with a plain
@@ -50,30 +98,354 @@ def _copy_row(row: Dict[str, Any]) -> Dict[str, Any]:
     return dict(row)
 
 
+# -- indexing switch -----------------------------------------------------------
+
+_DEFAULT_INDEXING = os.environ.get("REPRO_ORM_INDEXING", "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+    "no",
+)
+
+
+def default_indexing() -> bool:
+    """Whether new :class:`Database` instances build indexes (default on).
+
+    Seeded from the ``REPRO_ORM_INDEXING`` environment variable; flipped at
+    runtime by :func:`set_default_indexing` (the A/B hook used by
+    ``benchmarks/bench_orm.py`` to compare indexed and scan-only runs).
+    """
+
+    return _DEFAULT_INDEXING
+
+
+def set_default_indexing(enabled: bool) -> bool:
+    """Set the indexing default for new databases; returns the old value."""
+
+    global _DEFAULT_INDEXING
+    previous = _DEFAULT_INDEXING
+    _DEFAULT_INDEXING = bool(enabled)
+    return previous
+
+
+def _indexable(value: Any) -> bool:
+    """Whether ``value`` can be a hash-index key with scan-identical results.
+
+    Unhashable values cannot be dict keys at all; NaN-like values (``v != v``)
+    identity-match in a dict but ``==``-miss in a scan, so they must take the
+    scan path to preserve result identity.
+    """
+
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    try:
+        if value != value:
+            return False
+    except Exception:
+        return False
+    return True
+
+
+# -- plans and stats -----------------------------------------------------------
+
+
+@dataclass
+class QueryPlan:
+    """How one query was (or would be) answered.
+
+    ``kind`` is one of ``"get"`` (primary-key dict lookup), ``"index"``
+    (hash-index bucket + residual filter), ``"scan"`` (full iteration) or
+    ``"all"`` (O(1) ``len`` shortcut for condition-less count/exists).
+    ``rows_examined`` counts stored rows actually inspected.
+    """
+
+    kind: str
+    table: str
+    index_column: Optional[str] = None
+    rows_examined: int = 0
+    rows_matched: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "table": self.table,
+            "index_column": self.index_column,
+            "rows_examined": self.rows_examined,
+            "rows_matched": self.rows_matched,
+        }
+
+
+@dataclass
+class QueryStats:
+    """Aggregate query-planner counters for one database.
+
+    ``index_hits`` counts queries answered through a hash lookup (plan kinds
+    ``get``/``index``), ``scans`` counts full-table fallbacks, ``shortcuts``
+    counts the O(1) condition-less count/exists path, ``index_builds`` counts
+    lazy index constructions, and ``rows_examined`` sums the rows inspected
+    across all plans.
+    """
+
+    index_hits: int = 0
+    scans: int = 0
+    shortcuts: int = 0
+    index_builds: int = 0
+    rows_examined: int = 0
+
+    def record(self, plan: QueryPlan) -> None:
+        if plan.kind == "scan":
+            self.scans += 1
+        elif plan.kind == "all":
+            self.shortcuts += 1
+        else:
+            self.index_hits += 1
+        self.rows_examined += plan.rows_examined
+
+    def copy(self) -> "QueryStats":
+        return QueryStats(**{f.name: getattr(self, f.name) for f in _dataclass_fields(self)})
+
+    def since(self, before: "QueryStats") -> "QueryStats":
+        return QueryStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(before, f.name)
+                for f in _dataclass_fields(self)
+            }
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in _dataclass_fields(self)}
+
+
+# -- snapshots -----------------------------------------------------------------
+
+
+def _rebuild_table_snapshot(
+    items: Dict[str, Any],
+    indexes: Dict[str, Dict[Any, Set[int]]],
+    unindexable: Set[str],
+) -> "TableSnapshot":
+    entry = TableSnapshot(items)
+    entry.indexes = indexes
+    entry.unindexable = unindexable
+    return entry
+
+
+class TableSnapshot(dict):
+    """One table's dumped ``{"rows", "next_id"}`` state plus an index cache.
+
+    The cache lives in slots, *outside* the mapping items, so snapshot
+    equality -- which :mod:`repro.synth.state` relies on to detect
+    post-invoke writes and verify recordings -- compares only the logical
+    state; two identical states with differently warmed index caches still
+    compare equal.  The cache is shared copy-on-write with the tables built
+    from it (see ``Table.adopt``) and is *live*: a table still byte-identical
+    to this snapshot publishes newly built indexes back into it.
+    """
+
+    __slots__ = ("indexes", "unindexable")
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.indexes: Dict[str, Dict[Any, Set[int]]] = {}
+        self.unindexable: Set[str] = set()
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # dict subclasses with __slots__ need explicit pickle/deepcopy
+        # support; rebuilding through the plain-dict payload keeps both the
+        # mapping items and the cache.
+        return (_rebuild_table_snapshot, (dict(self), self.indexes, self.unindexable))
+
+
 class Table:
     """One table: insertion-ordered rows keyed by integer id."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        indexing: bool = True,
+        stats: Optional[QueryStats] = None,
+    ) -> None:
         self.name = name
         self.rows: Dict[int, Dict[str, Any]] = {}
         self.next_id = 1
         #: Row ids whose dicts are shared with a snapshot (see ``adopt``);
         #: ``update`` un-shares them copy-on-write before mutating.
         self._shared: Set[int] = set()
+        self.indexing = bool(indexing)
+        self.stats = stats if stats is not None else QueryStats()
+        #: Lazily built hash indexes: column -> value -> set of row ids.
+        self._indexes: Dict[str, Dict[Any, Set[int]]] = {}
+        #: Columns whose whole index (outer dict *and* buckets) is shared
+        #: with a snapshot; the first write copies the outer dict.
+        self._index_shared: Set[str] = set()
+        #: Columns whose outer dict is private but whose bucket sets may
+        #: still be shared; writes copy the touched bucket first.
+        self._bucket_shared: Set[str] = set()
+        #: Columns that held an unhashable value; permanently scan-only
+        #: (until ``clear``/``adopt`` resets the table).
+        self._unindexable: Set[str] = set()
+        #: The snapshot entry this table is still byte-identical to (set by
+        #: ``adopt`` and ``dump``, cleared by any mutation).  While set,
+        #: newly built indexes are published into the snapshot's cache so
+        #: later restores inherit them.
+        self._origin: Optional[TableSnapshot] = None
 
-    def insert(self, values: Dict[str, Any]) -> Dict[str, Any]:
+    # -- index maintenance ------------------------------------------------------
+
+    def index_on(self, column: str) -> Optional[Dict[Any, Set[int]]]:
+        """The hash index for ``column``, built lazily on first use.
+
+        Returns ``None`` (and remembers the column as unindexable) when any
+        stored value is unhashable.  Indexes built while the table is still
+        undiverged from a snapshot are published back into that snapshot so
+        subsequent restores start warm.
+        """
+
+        if not self.indexing or column in self._unindexable:
+            return None
+        index = self._indexes.get(column)
+        if index is not None:
+            return index
+        index = {}
+        for row_id, row in self.rows.items():
+            value = row.get(column)
+            try:
+                bucket = index.get(value)
+            except TypeError:
+                self._mark_unindexable(column)
+                return None
+            if bucket is None:
+                index[value] = bucket = set()
+            bucket.add(row_id)
+        self._indexes[column] = index
+        self.stats.index_builds += 1
+        if self._origin is not None:
+            self._origin.indexes[column] = index
+            self._index_shared.add(column)
+        return index
+
+    def _mark_unindexable(self, column: str) -> None:
+        self._unindexable.add(column)
+        self._indexes.pop(column, None)
+        self._index_shared.discard(column)
+        self._bucket_shared.discard(column)
+        if self._origin is not None:
+            self._origin.unindexable.add(column)
+
+    def _diverge(self) -> None:
+        """Any mutation makes the table no longer identical to its snapshot."""
+
+        self._origin = None
+
+    def _writable_index(self, column: str) -> Dict[Any, Set[int]]:
+        """The column's index, with a private outer dict (copy-on-write)."""
+
+        index = self._indexes[column]
+        if column in self._index_shared:
+            index = dict(index)  # bucket sets stay shared; copied on write
+            self._indexes[column] = index
+            self._index_shared.discard(column)
+            self._bucket_shared.add(column)
+        return index
+
+    def _bucket_add(
+        self, column: str, index: Dict[Any, Set[int]], value: Any, row_id: int
+    ) -> None:
+        bucket = index.get(value)
+        if bucket is None:
+            index[value] = {row_id}
+            return
+        if column in self._bucket_shared:
+            bucket = set(bucket)
+            index[value] = bucket
+        bucket.add(row_id)
+
+    def _bucket_discard(
+        self, column: str, index: Dict[Any, Set[int]], value: Any, row_id: int
+    ) -> None:
+        bucket = index.get(value)
+        if bucket is None:
+            return
+        if column in self._bucket_shared:
+            bucket = set(bucket)
+            index[value] = bucket
+        bucket.discard(row_id)
+        if not bucket:
+            del index[value]
+
+    def _index_insert(self, row: Dict[str, Any]) -> None:
+        row_id = row["id"]
+        for column in list(self._indexes):
+            index = self._writable_index(column)
+            try:
+                self._bucket_add(column, index, row.get(column), row_id)
+            except TypeError:
+                self._mark_unindexable(column)
+
+    def _index_delete(self, row: Dict[str, Any]) -> None:
+        row_id = row["id"]
+        for column in list(self._indexes):
+            index = self._writable_index(column)
+            try:
+                self._bucket_discard(column, index, row.get(column), row_id)
+            except TypeError:
+                self._mark_unindexable(column)
+
+    def _index_update(
+        self, row_id: int, old_row: Dict[str, Any], changes: Dict[str, Any]
+    ) -> None:
+        for column in list(self._indexes):
+            if column not in changes:
+                continue
+            old, new = old_row.get(column), changes[column]
+            try:
+                # Equal values share a bucket (dict-key equivalence), so the
+                # index is already correct; nothing to move.
+                if old is new or old == new:
+                    continue
+            except Exception:
+                pass
+            index = self._writable_index(column)
+            try:
+                self._bucket_discard(column, index, old, row_id)
+                self._bucket_add(column, index, new, row_id)
+            except TypeError:
+                self._mark_unindexable(column)
+
+    # -- row mutation -----------------------------------------------------------
+
+    def _insert_row(self, values: Dict[str, Any]) -> Dict[str, Any]:
+        self._diverge()
         row = _copy_row(values)
         row["id"] = self.next_id
         self.rows[self.next_id] = row
         self.next_id += 1
-        return _copy_row(row)
+        if self._indexes:
+            self._index_insert(row)
+        return row
+
+    def insert(self, values: Dict[str, Any]) -> Dict[str, Any]:
+        return _copy_row(self._insert_row(values))
+
+    def bulk_insert(self, rows: Iterable[Dict[str, Any]]) -> int:
+        """Insert many rows without per-row return copies; returns the count."""
+
+        count = 0
+        for values in rows:
+            self._insert_row(values)
+            count += 1
+        return count
 
     def get(self, row_id: int) -> Optional[Dict[str, Any]]:
         row = self.rows.get(row_id)
         return _copy_row(row) if row is not None else None
 
-    def update(self, row_id: int, values: Dict[str, Any]) -> Optional[Dict[str, Any]]:
-        """Merge ``values`` into the row stored under ``row_id``.
+    def _apply_update(
+        self, row_id: int, values: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """Merge ``values`` into a stored row; returns the stored dict (no copy).
 
         Any ``id`` key in ``values`` is stripped: a row's id is its storage
         key, and letting an update overwrite the field would make the stored
@@ -84,53 +456,206 @@ class Table:
         row = self.rows.get(row_id)
         if row is None:
             return None
+        self._diverge()
         if row_id in self._shared:
             # Copy-on-write: the dict is shared with a snapshot; replace it
             # with a private copy before mutating.
             row = dict(row)
             self.rows[row_id] = row
             self._shared.discard(row_id)
-        row.update(
-            {key: _copy_value(value) for key, value in values.items() if key != "id"}
-        )
-        return _copy_row(row)
+        changes = {
+            key: _copy_value(value) for key, value in values.items() if key != "id"
+        }
+        if self._indexes:
+            self._index_update(row_id, row, changes)
+        row.update(changes)
+        return row
+
+    def update(self, row_id: int, values: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        row = self._apply_update(row_id, values)
+        return _copy_row(row) if row is not None else None
 
     def delete(self, row_id: int) -> bool:
+        row = self.rows.pop(row_id, None)
+        if row is None:
+            return False
+        self._diverge()
         self._shared.discard(row_id)
-        return self.rows.pop(row_id, None) is not None
+        if self._indexes:
+            self._index_delete(row)
+        return True
 
     def all(self) -> List[Dict[str, Any]]:
-        return [_copy_row(row) for row in self.rows.values()]
+        rows = [_copy_row(row) for row in self.rows.values()]
+        self.stats.record(
+            QueryPlan("scan", self.name, rows_examined=len(rows), rows_matched=len(rows))
+        )
+        return rows
 
     def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> List[Dict[str, Any]]:
-        return [_copy_row(row) for row in self.rows.values() if predicate(row)]
+        rows = [_copy_row(row) for row in self.rows.values() if predicate(row)]
+        self.stats.record(
+            QueryPlan(
+                "scan", self.name, rows_examined=len(self.rows), rows_matched=len(rows)
+            )
+        )
+        return rows
 
     def clear(self) -> None:
+        self._diverge()
         self.rows.clear()
         self.next_id = 1
         self._shared.clear()
+        # Replace (never mutate) the index containers: they may be shared
+        # with a live snapshot.
+        self._indexes = {}
+        self._index_shared = set()
+        self._bucket_shared = set()
+        self._unindexable = set()
+
+    # -- planning and matching --------------------------------------------------
+
+    def plan(self, conditions: Optional[Mapping[str, Any]] = None) -> QueryPlan:
+        """The access path ``match_ids`` would take for ``conditions``.
+
+        ``rows_examined`` is the planner's estimate (bucket size for an
+        indexed plan, table size for a scan); execution overwrites it with
+        the actual count.  Planning an indexed column may lazily build its
+        index -- that *is* the "first indexed lookup".
+        """
+
+        conditions = conditions or {}
+        if not conditions:
+            return QueryPlan("scan", self.name, rows_examined=len(self.rows))
+        if "id" in conditions and _indexable(conditions["id"]):
+            return QueryPlan("get", self.name, index_column="id", rows_examined=1)
+        if self.indexing:
+            best: Optional[str] = None
+            best_size = 0
+            for column, value in conditions.items():
+                if column == "id" or not _indexable(value):
+                    continue
+                index = self.index_on(column)
+                if index is None:
+                    continue
+                bucket = index.get(value)
+                size = len(bucket) if bucket else 0
+                if best is None or size < best_size:
+                    best, best_size = column, size
+            if best is not None:
+                return QueryPlan(
+                    "index", self.name, index_column=best, rows_examined=best_size
+                )
+        return QueryPlan("scan", self.name, rows_examined=len(self.rows))
+
+    def match_ids(
+        self,
+        conditions: Optional[Mapping[str, Any]] = None,
+        order: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> Tuple[List[int], QueryPlan]:
+        """Ids of matching rows plus the executed plan; copies no rows.
+
+        Ids come back in table insertion order (identical to ascending-id
+        order by the storage invariant) unless ``order`` is given, which
+        sorts by that column (``None`` values last, stable) and honours
+        ``descending``; ``limit`` truncates after ordering.  Unordered
+        limited queries stop examining rows once the limit is reached.
+        """
+
+        conditions = dict(conditions) if conditions else {}
+        plan = self.plan(conditions)
+        cap = limit if (order is None and limit is not None and limit >= 0) else None
+        examined = 0
+        ids: List[int] = []
+        if plan.kind == "get":
+            residual = {c: v for c, v in conditions.items() if c != "id"}
+            row = self.rows.get(conditions["id"])
+            if row is not None:
+                examined = 1
+                if all(row.get(c) == v for c, v in residual.items()):
+                    ids.append(row["id"])
+        elif plan.kind == "index":
+            index = self._indexes.get(plan.index_column) or {}
+            bucket = index.get(conditions[plan.index_column]) or ()
+            residual = {
+                c: v for c, v in conditions.items() if c != plan.index_column
+            }
+            for row_id in sorted(bucket):
+                if cap is not None and len(ids) >= cap:
+                    break
+                row = self.rows[row_id]
+                examined += 1
+                if all(row.get(c) == v for c, v in residual.items()):
+                    ids.append(row_id)
+        else:
+            for row_id, row in self.rows.items():
+                if cap is not None and len(ids) >= cap:
+                    break
+                examined += 1
+                if all(row.get(c) == v for c, v in conditions.items()):
+                    ids.append(row_id)
+        if order is not None:
+            rows = self.rows
+            ids.sort(
+                key=lambda row_id: (
+                    rows[row_id].get(order) is None,
+                    rows[row_id].get(order),
+                )
+            )
+            if descending:
+                ids.reverse()
+        if limit is not None:
+            ids = ids[:limit]
+        plan.rows_examined = examined
+        plan.rows_matched = len(ids)
+        self.stats.record(plan)
+        return ids, plan
 
     # -- snapshot support -------------------------------------------------------
 
-    def dump(self) -> Dict[str, Any]:
-        """This table's state as an independent ``{"rows", "next_id"}`` dict."""
+    def dump(self) -> TableSnapshot:
+        """This table's state as an independent ``{"rows", "next_id"}`` entry.
 
-        return {
-            "rows": {row_id: _copy_row(row) for row_id, row in self.rows.items()},
-            "next_id": self.next_id,
-        }
+        The entry also carries the current index cache (shared, marked
+        copy-on-write on our side) and becomes the table's ``_origin``: until
+        the next mutation, indexes built here are published into the entry.
+        """
 
-    def adopt(self, rows: Dict[int, Dict[str, Any]], next_id: int) -> None:
-        """Install snapshot state, sharing the row dicts copy-on-write.
+        entry = TableSnapshot(
+            {
+                "rows": {row_id: _copy_row(row) for row_id, row in self.rows.items()},
+                "next_id": self.next_id,
+            }
+        )
+        entry.indexes = dict(self._indexes)
+        entry.unindexable = set(self._unindexable)
+        self._index_shared = set(self._indexes)
+        self._bucket_shared -= self._index_shared
+        self._origin = entry
+        return entry
+
+    def adopt(self, entry: Mapping[str, Any]) -> None:
+        """Install snapshot state, sharing row dicts and indexes copy-on-write.
 
         The row *mapping* is copied (inserts/deletes never touch the
         snapshot) but the row dicts themselves are shared and marked in
-        ``_shared`` so ``update`` copies them before mutating.
+        ``_shared`` so ``update`` copies them before mutating.  The
+        snapshot's cached indexes are installed the same way -- shared until
+        the first index write -- so restore/evaluate loops stay warm.
         """
 
+        rows = entry["rows"]
         self.rows = dict(rows)
-        self.next_id = next_id
+        self.next_id = entry["next_id"]
         self._shared = set(rows)
+        indexes = getattr(entry, "indexes", None) or {}
+        self._indexes = dict(indexes)
+        self._index_shared = set(indexes)
+        self._bucket_shared = set()
+        self._unindexable = set(getattr(entry, "unindexable", None) or ())
+        self._origin = entry if isinstance(entry, TableSnapshot) else None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -140,29 +665,52 @@ class Table:
 
 
 class Database:
-    """A named collection of tables with a reset hook."""
+    """A named collection of tables with a reset hook and a query planner."""
 
-    def __init__(self) -> None:
+    def __init__(self, indexing: Optional[bool] = None) -> None:
         self._tables: Dict[str, Table] = {}
         self._globals: Dict[str, Any] = {}
         #: Whether ``_globals`` is currently shared with a snapshot
         #: (copy-on-write: the next write replaces it with a private copy).
         self._globals_shared = False
+        self.indexing = default_indexing() if indexing is None else bool(indexing)
+        self.query_stats = QueryStats()
+        #: The most recently executed plan (``explain`` for the last query).
+        self.last_plan: Optional[QueryPlan] = None
 
     # -- tables ---------------------------------------------------------------
 
     def table(self, name: str) -> Table:
         table = self._tables.get(name)
         if table is None:
-            table = Table(name)
+            table = Table(name, indexing=self.indexing, stats=self.query_stats)
             self._tables[name] = table
         return table
 
     def table_names(self) -> List[str]:
         return sorted(self._tables)
 
+    def set_indexing(self, enabled: bool) -> None:
+        """Enable/disable indexing for this database and its tables.
+
+        Disabling drops all index state so subsequent queries take the scan
+        path with no stale caches.
+        """
+
+        self.indexing = bool(enabled)
+        for table in self._tables.values():
+            table.indexing = self.indexing
+            if not self.indexing:
+                table._indexes = {}
+                table._index_shared = set()
+                table._bucket_shared = set()
+                table._unindexable = set()
+
     def insert(self, table: str, **values: Any) -> Dict[str, Any]:
         return self.table(table).insert(values)
+
+    def bulk_insert(self, table: str, rows: Iterable[Dict[str, Any]]) -> int:
+        return self.table(table).bulk_insert(rows)
 
     def get(self, table: str, row_id: int) -> Optional[Dict[str, Any]]:
         return self.table(table).get(row_id)
@@ -181,18 +729,155 @@ class Database:
     ) -> List[Dict[str, Any]]:
         return self.table(table).select(predicate)
 
+    # -- planned queries -------------------------------------------------------
+
+    def query(
+        self,
+        table: str,
+        conditions: Optional[Mapping[str, Any]] = None,
+        order: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Copied rows matching an equality conjunction, planned via indexes.
+
+        The single entry point the Relation layer pushes its conditions,
+        order and limit down into; only the matching rows are copied.
+        """
+
+        t = self.table(table)
+        ids, plan = t.match_ids(
+            conditions, order=order, descending=descending, limit=limit
+        )
+        self.last_plan = plan
+        rows = t.rows
+        return [_copy_row(rows[row_id]) for row_id in ids]
+
+    def match_ids(
+        self,
+        table: str,
+        conditions: Optional[Mapping[str, Any]] = None,
+        order: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> List[int]:
+        """Matching row ids without copying any rows."""
+
+        ids, plan = self.table(table).match_ids(
+            conditions, order=order, descending=descending, limit=limit
+        )
+        self.last_plan = plan
+        return ids
+
     def where(self, table: str, conditions: Dict[str, Any]) -> List[Dict[str, Any]]:
         """Rows matching an equality conjunction over ``conditions``."""
 
-        def matches(row: Dict[str, Any]) -> bool:
-            return all(row.get(col) == value for col, value in conditions.items())
+        return self.query(table, conditions)
 
-        return self.table(table).select(matches)
+    def count(
+        self,
+        table: str,
+        conditions: Optional[Dict[str, Any]] = None,
+        limit: Optional[int] = None,
+    ) -> int:
+        """Matching-row count; copies no rows.
 
-    def count(self, table: str, conditions: Optional[Dict[str, Any]] = None) -> int:
+        Condition-less unlimited counts are O(1); otherwise the planner
+        matches ids only.
+        """
+
+        t = self.table(table)
+        if not conditions and limit is None:
+            self.last_plan = QueryPlan("all", table, rows_matched=len(t))
+            self.query_stats.record(self.last_plan)
+            return len(t)
+        ids, plan = t.match_ids(conditions, limit=limit)
+        self.last_plan = plan
+        return len(ids)
+
+    def exists(
+        self, table: str, conditions: Optional[Dict[str, Any]] = None
+    ) -> bool:
+        """Whether any row matches; stops at the first match, copies nothing."""
+
+        t = self.table(table)
         if not conditions:
-            return len(self.table(table))
-        return len(self.where(table, conditions))
+            self.last_plan = QueryPlan("all", table, rows_matched=min(len(t), 1))
+            self.query_stats.record(self.last_plan)
+            return len(t) > 0
+        ids, plan = t.match_ids(conditions, limit=1)
+        self.last_plan = plan
+        return bool(ids)
+
+    def pluck(
+        self,
+        table: str,
+        column: str,
+        conditions: Optional[Mapping[str, Any]] = None,
+        order: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> List[Any]:
+        """One column's values from matching rows; copies values, not rows."""
+
+        t = self.table(table)
+        ids, plan = t.match_ids(
+            conditions, order=order, descending=descending, limit=limit
+        )
+        self.last_plan = plan
+        rows = t.rows
+        return [_copy_value(rows[row_id].get(column)) for row_id in ids]
+
+    def update_where(
+        self,
+        table: str,
+        conditions: Optional[Mapping[str, Any]] = None,
+        values: Optional[Mapping[str, Any]] = None,
+        order: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> int:
+        """Update all matching rows in place; returns the matched count.
+
+        Operates directly on matched ids -- no row materialization and no
+        per-row re-lookup.
+        """
+
+        t = self.table(table)
+        ids, plan = t.match_ids(
+            conditions, order=order, descending=descending, limit=limit
+        )
+        self.last_plan = plan
+        values = dict(values or {})
+        for row_id in ids:
+            t._apply_update(row_id, values)
+        return len(ids)
+
+    def delete_where(
+        self,
+        table: str,
+        conditions: Optional[Mapping[str, Any]] = None,
+        order: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> int:
+        """Delete all matching rows; returns the matched count."""
+
+        t = self.table(table)
+        ids, plan = t.match_ids(
+            conditions, order=order, descending=descending, limit=limit
+        )
+        self.last_plan = plan
+        for row_id in ids:
+            t.delete(row_id)
+        return len(ids)
+
+    def explain(
+        self, table: str, conditions: Optional[Mapping[str, Any]] = None
+    ) -> QueryPlan:
+        """The plan ``query`` would take, without executing or recording it."""
+
+        return self.table(table).plan(dict(conditions or {}))
 
     # -- global key/value state (SiteSetting-style globals) -------------------
 
@@ -255,7 +940,9 @@ class Database:
         reuses ids handed out before a delete) plus the globals;
         ``restore`` makes the pair an exact round-trip.  Pristine tables
         (no rows, no ids ever assigned) are omitted so snapshots compare
-        equal across auto-created-but-unused tables.
+        equal across auto-created-but-unused tables.  Table entries are
+        :class:`TableSnapshot` objects carrying the index cache out-of-band;
+        snapshot equality sees only the logical state.
         """
 
         return {
@@ -274,7 +961,9 @@ class Database:
         what re-running ``reset`` plus the seed closure would leave behind.
         The snapshot stays valid across any number of restores: like the
         tables, the globals dict is adopted by reference (and marked shared)
-        when all its values are atomic, copied eagerly otherwise.
+        when all its values are atomic, copied eagerly otherwise.  Cached
+        indexes ride along with each table entry, so no restore ever forces
+        an index rebuild by itself.
         """
 
         saved = snap["tables"]
@@ -282,7 +971,7 @@ class Database:
             if name not in saved:
                 table.clear()
         for name, entry in saved.items():
-            self.table(name).adopt(entry["rows"], entry["next_id"])
+            self.table(name).adopt(entry)
         snapshot_globals = snap["globals"]
         if all(isinstance(value, _ATOMIC) for value in snapshot_globals.values()):
             self._globals = snapshot_globals

@@ -113,20 +113,24 @@ class Model:
     @classmethod
     def first(cls) -> Optional["Model"]:
         cls._log_read(None)
-        rows = cls.database().all(cls.table_name)
+        rows = cls.database().query(cls.table_name, limit=1)
         return cls(rows[0]) if rows else None
 
     @classmethod
     def last(cls) -> Optional["Model"]:
         cls._log_read(None)
-        rows = cls.database().all(cls.table_name)
-        return cls(rows[-1]) if rows else None
+        db = cls.database()
+        ids = db.match_ids(cls.table_name)
+        if not ids:
+            return None
+        row = db.get(cls.table_name, ids[-1])
+        return cls(row) if row is not None else None
 
     @classmethod
     def exists(cls, **conditions: Any) -> bool:
         cls._check_columns(conditions)
         cls._log_read(None)
-        return bool(cls.database().where(cls.table_name, conditions))
+        return cls.database().exists(cls.table_name, conditions)
 
     @classmethod
     def find(cls, row_id: int) -> Optional["Model"]:
@@ -138,7 +142,7 @@ class Model:
     def find_by(cls, **conditions: Any) -> Optional["Model"]:
         cls._check_columns(conditions)
         cls._log_read(None)
-        rows = cls.database().where(cls.table_name, conditions)
+        rows = cls.database().query(cls.table_name, conditions, limit=1)
         return cls(rows[0]) if rows else None
 
     @classmethod
@@ -154,10 +158,7 @@ class Model:
     @classmethod
     def delete_all(cls) -> int:
         cls._log_write(None)
-        rows = cls.database().all(cls.table_name)
-        for row in rows:
-            cls.database().delete(cls.table_name, row["id"])
-        return len(rows)
+        return cls.database().delete_where(cls.table_name)
 
     @classmethod
     def _check_columns(cls, values: Dict[str, Any]) -> None:

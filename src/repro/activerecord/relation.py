@@ -2,9 +2,16 @@
 
 A relation stores a conjunction of equality conditions plus an optional
 ordering and limit; it only touches the database when materialized (``first``,
-``to_a``, ``count``, ``exists?`` ...).  Materializing operations log a
-class-level read effect on the underlying model, matching the coarse
-``Post`` annotation the paper gives to ``Post.where`` results (Section 4).
+``to_a``, ``count``, ``exists?`` ...).  Materialization pushes the whole
+shape -- conditions, order, limit -- down into ``Database.query`` so the
+planner can answer through an index and copy only the rows actually
+returned; ``count``/``exists``/``empty`` use the planner's no-copy paths and
+``update_all``/``delete_all`` operate on matched ids directly.
+
+Materializing operations log a class-level read effect on the underlying
+model, matching the coarse ``Post`` annotation the paper gives to
+``Post.where`` results (Section 4); pushdown never changes which regions are
+logged.
 """
 
 from __future__ import annotations
@@ -69,14 +76,33 @@ class Relation:
 
     def _rows(self) -> List[Dict[str, Any]]:
         db = self.model_cls.database()
-        rows = db.where(self.model_cls.table_name, self.conditions)
-        if self.order_column is not None:
-            rows.sort(key=lambda r: (r.get(self.order_column) is None, r.get(self.order_column)))
-            if self.descending:
-                rows.reverse()
-        if self.limit_count is not None:
-            rows = rows[: self.limit_count]
-        return rows
+        return db.query(
+            self.model_cls.table_name,
+            self.conditions,
+            order=self.order_column,
+            descending=self.descending,
+            limit=self.limit_count,
+        )
+
+    def _first_limit(self) -> Optional[int]:
+        """The pushdown limit for single-row materialization (``first``).
+
+        A limit of one row suffices unless the relation already carries a
+        tighter (zero or negative, i.e. slice-like) limit.
+        """
+
+        if self.limit_count is None or self.limit_count >= 1:
+            return 1
+        return self.limit_count
+
+    def _exists_nolog(self) -> bool:
+        db = self.model_cls.database()
+        return (
+            db.count(
+                self.model_cls.table_name, self.conditions, limit=self._first_limit()
+            )
+            > 0
+        )
 
     def to_a(self) -> List[Model]:
         self._log_read()
@@ -84,27 +110,47 @@ class Relation:
 
     def first(self) -> Optional[Model]:
         self._log_read()
-        rows = self._rows()
+        db = self.model_cls.database()
+        rows = db.query(
+            self.model_cls.table_name,
+            self.conditions,
+            order=self.order_column,
+            descending=self.descending,
+            limit=self._first_limit(),
+        )
         return self.model_cls(rows[0]) if rows else None
 
     def last(self) -> Optional[Model]:
         self._log_read()
-        rows = self._rows()
-        return self.model_cls(rows[-1]) if rows else None
+        db = self.model_cls.database()
+        ids = db.match_ids(
+            self.model_cls.table_name,
+            self.conditions,
+            order=self.order_column,
+            descending=self.descending,
+            limit=self.limit_count,
+        )
+        if not ids:
+            return None
+        row = db.get(self.model_cls.table_name, ids[-1])
+        return self.model_cls(row) if row is not None else None
 
     def exists(self, **conditions: Any) -> bool:
         self._log_read()
         if conditions:
-            return bool(self.where(**conditions)._rows())
-        return bool(self._rows())
+            return self.where(**conditions)._exists_nolog()
+        return self._exists_nolog()
 
     def count(self) -> int:
         self._log_read()
-        return len(self._rows())
+        db = self.model_cls.database()
+        return db.count(
+            self.model_cls.table_name, self.conditions, limit=self.limit_count
+        )
 
     def empty(self) -> bool:
         self._log_read()
-        return not self._rows()
+        return not self._exists_nolog()
 
     def pluck(self, column: str) -> List[Any]:
         if column not in self.model_cls.columns():
@@ -112,24 +158,39 @@ class Relation:
                 f"unknown column {column!r} for {self.model_cls.model_name}"
             )
         log_effect(read=Effect.region(self.model_cls.model_name, column))
-        return [row.get(column) for row in self._rows()]
+        db = self.model_cls.database()
+        return db.pluck(
+            self.model_cls.table_name,
+            column,
+            self.conditions,
+            order=self.order_column,
+            descending=self.descending,
+            limit=self.limit_count,
+        )
 
     def update_all(self, **values: Any) -> int:
         self.model_cls._check_columns(values)
         log_effect(write=Effect.region(self.model_cls.model_name))
-        rows = self._rows()
         db = self.model_cls.database()
-        for row in rows:
-            db.update(self.model_cls.table_name, row["id"], **values)
-        return len(rows)
+        return db.update_where(
+            self.model_cls.table_name,
+            self.conditions,
+            values,
+            order=self.order_column,
+            descending=self.descending,
+            limit=self.limit_count,
+        )
 
     def delete_all(self) -> int:
         log_effect(write=Effect.region(self.model_cls.model_name))
-        rows = self._rows()
         db = self.model_cls.database()
-        for row in rows:
-            db.delete(self.model_cls.table_name, row["id"])
-        return len(rows)
+        return db.delete_where(
+            self.model_cls.table_name,
+            self.conditions,
+            order=self.order_column,
+            descending=self.descending,
+            limit=self.limit_count,
+        )
 
     def __iter__(self) -> Iterator[Model]:
         return iter(self.to_a())

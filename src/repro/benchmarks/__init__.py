@@ -21,6 +21,7 @@ from repro.benchmarks import synthetic as _synthetic  # noqa: F401,E402
 from repro.benchmarks import discourse as _discourse  # noqa: F401,E402
 from repro.benchmarks import gitlab as _gitlab  # noqa: F401,E402
 from repro.benchmarks import diaspora as _diaspora  # noqa: F401,E402
+from repro.benchmarks import scale as _scale  # noqa: F401,E402
 
 from repro.benchmarks.runner import BenchmarkResult, run_benchmark
 

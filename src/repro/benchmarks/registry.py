@@ -46,6 +46,11 @@ class BenchmarkSpec:
     #: Per-benchmark overrides applied on top of the harness config
     #: (e.g. a larger candidate size bound for the overview benchmark).
     config_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Which tier the benchmark belongs to: ``"paper"`` for the 19 Table 1
+    #: benchmarks, ``"scale"`` for the production-sized (1e5-1e6 row)
+    #: variants.  ``all_benchmarks`` returns the paper tier by default so
+    #: sweeps, tests and Table 1 never pick up scale entries accidentally.
+    tier: str = "paper"
 
     def make_config(self, base: Optional[SynthConfig] = None) -> SynthConfig:
         from dataclasses import replace
@@ -69,11 +74,20 @@ def register_benchmark(spec: BenchmarkSpec) -> BenchmarkSpec:
     return spec
 
 
-def all_benchmarks(group: Optional[str] = None) -> List[BenchmarkSpec]:
-    """All registered benchmarks in Table 1 order, optionally by group."""
+def all_benchmarks(
+    group: Optional[str] = None, tier: Optional[str] = "paper"
+) -> List[BenchmarkSpec]:
+    """Registered benchmarks in Table 1 order, optionally by group/tier.
+
+    ``tier`` defaults to ``"paper"`` (the 19 Table 1 benchmarks); pass
+    ``"scale"`` for the production-sized entries or ``None``/``"all"`` for
+    everything.
+    """
 
     order = {bid: i for i, bid in enumerate(_TABLE1_ORDER)}
     benchmarks = sorted(_REGISTRY.values(), key=lambda b: order.get(b.id, 99))
+    if tier is not None and tier != "all":
+        benchmarks = [b for b in benchmarks if b.tier == tier]
     if group is not None:
         benchmarks = [b for b in benchmarks if b.group == group]
     return benchmarks
@@ -92,4 +106,6 @@ _TABLE1_ORDER = [
     "A1", "A2", "A3", "A4",
     "A5", "A6", "A7", "A8",
     "A9", "A10", "A11", "A12",
+    # Scale tier (not part of Table 1; ordered after the paper benchmarks).
+    "SC1", "SC2", "SC3",
 ]

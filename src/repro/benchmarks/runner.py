@@ -51,6 +51,10 @@ class BenchmarkResult:
     state_restores: int = 0
     state_rebuilds: int = 0
     reset_replays: int = 0
+    # Query-planner counters summed across runs (repro.activerecord): spec
+    # evaluations answered through a hash index vs. full-table scans.
+    index_hits: int = 0
+    index_scans: int = 0
 
     @property
     def median_s(self) -> Optional[float]:
@@ -86,6 +90,8 @@ class BenchmarkResult:
         self.state_restores += outcome.stats.state_restores
         self.state_rebuilds += outcome.stats.state_rebuilds
         self.reset_replays += outcome.stats.reset_replays
+        self.index_hits += outcome.stats.index_hits
+        self.index_scans += outcome.stats.index_scans
         if outcome.success:
             self.times_s.append(elapsed)
             self.meth_size = outcome.method_size

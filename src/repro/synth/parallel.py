@@ -109,6 +109,8 @@ class SpecTaskResult:
     cache_stats: CacheStats
     state_stats: Optional[StateStats]
     reset_replays: int
+    index_hits: int
+    index_scans: int
     memo: List[MemoEntry]
 
 
@@ -122,6 +124,8 @@ class GuardTaskResult:
     cache_stats: CacheStats
     state_stats: Optional[StateStats]
     reset_replays: int
+    index_hits: int
+    index_scans: int
     memo: List[MemoEntry]
 
 
@@ -167,6 +171,8 @@ class WorkerTotals:
 
     state: StateStats = field(default_factory=StateStats)
     reset_replays: int = 0
+    index_hits: int = 0
+    index_scans: int = 0
     have_state: bool = False
 
     def add(self, task: "SpecTaskResult | GuardTaskResult") -> None:
@@ -174,6 +180,8 @@ class WorkerTotals:
             self.state.merge(task.state_stats)
             self.have_state = True
         self.reset_replays += task.reset_replays
+        self.index_hits += task.index_hits
+        self.index_scans += task.index_scans
 
 
 # ---------------------------------------------------------------------------
@@ -306,7 +314,13 @@ def _run_spec_task(
     stats = SearchStats()
     budget = Budget(config.timeout_s)
     resets_before = problem.reset_replays
+    if state is not None:
+        # Attribute only this task's query counters to its stats delta.
+        state.sync_query_stats()
     state_before = state.stats.copy() if state is not None else None
+    query_before = (
+        problem.database.query_stats.copy() if problem.database is not None else None
+    )
     expr: Optional[A.Node] = None
     timed_out = False
     try:
@@ -317,6 +331,13 @@ def _run_spec_task(
         timed_out = True
     finally:
         problem.unregister_cache(cache)
+    if state is not None:
+        state.sync_query_stats()
+    query_delta = (
+        problem.database.query_stats.since(query_before)
+        if query_before is not None
+        else None
+    )
     return SpecTaskResult(
         spec_index=spec_index,
         expr=expr,
@@ -325,6 +346,8 @@ def _run_spec_task(
         cache_stats=cache.stats,
         state_stats=state.stats.since(state_before) if state is not None else None,
         reset_replays=problem.reset_replays - resets_before,
+        index_hits=query_delta.index_hits if query_delta is not None else 0,
+        index_scans=query_delta.scans if query_delta is not None else 0,
         memo=_export_memo(cache, problem),
     )
 
@@ -342,7 +365,12 @@ def _run_guard_task(
     stats = SearchStats()
     budget = Budget(config.timeout_s)
     resets_before = problem.reset_replays
+    if state is not None:
+        state.sync_query_stats()
     state_before = state.stats.copy() if state is not None else None
+    query_before = (
+        problem.database.query_stats.copy() if problem.database is not None else None
+    )
     guard: Optional[A.Node] = None
     timed_out = False
     try:
@@ -361,6 +389,13 @@ def _run_guard_task(
         timed_out = True
     finally:
         problem.unregister_cache(cache)
+    if state is not None:
+        state.sync_query_stats()
+    query_delta = (
+        problem.database.query_stats.since(query_before)
+        if query_before is not None
+        else None
+    )
     return GuardTaskResult(
         guard=guard,
         timed_out=timed_out,
@@ -368,6 +403,8 @@ def _run_guard_task(
         cache_stats=cache.stats,
         state_stats=state.stats.since(state_before) if state is not None else None,
         reset_replays=problem.reset_replays - resets_before,
+        index_hits=query_delta.index_hits if query_delta is not None else 0,
+        index_scans=query_delta.scans if query_delta is not None else 0,
         memo=_export_memo(cache, problem),
     )
 
@@ -584,6 +621,8 @@ def run_synthesis_parallel(
         result.stats.state_restores += totals.state.restores
         result.stats.state_rebuilds += totals.state.rebuilds
         result.stats.reset_replays += totals.reset_replays
+        result.stats.index_hits += totals.index_hits
+        result.stats.index_scans += totals.index_scans
         if totals.have_state:
             if result.state_stats is not None:
                 result.state_stats.merge(totals.state)

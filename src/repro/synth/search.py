@@ -67,6 +67,11 @@ class SearchStats:
     state_restores: int = 0
     state_rebuilds: int = 0
     reset_replays: int = 0
+    # Query-planner counters (repro.activerecord.database.QueryStats, filled
+    # from the problem database's stats): spec-evaluation queries answered
+    # through a hash index vs. full-table scans.
+    index_hits: int = 0
+    index_scans: int = 0
     # Cross-run solution reuse (the session's solution hints): specs whose
     # search was skipped because the previous run's solution re-validated.
     hint_reuses: int = 0
@@ -102,6 +107,8 @@ class SearchStats:
         self.state_restores += other.state_restores
         self.state_rebuilds += other.state_rebuilds
         self.reset_replays += other.reset_replays
+        self.index_hits += other.index_hits
+        self.index_scans += other.index_scans
         self.hint_reuses += other.hint_reuses
         self.parallel_tasks += other.parallel_tasks
         self.parallel_discarded += other.parallel_discarded

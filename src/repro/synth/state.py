@@ -106,6 +106,12 @@ class StateStats:
     #: ``verify_recordings`` passes that re-recorded a setup and found it
     #: deterministic (a mismatch raises instead of counting).
     verifications: int = 0
+    #: Queries the manager's database answered through a hash index (see
+    #: :class:`repro.activerecord.database.QueryStats`; pulled in by
+    #: ``sync_query_stats``).
+    index_hits: int = 0
+    #: Queries that fell back to a full table scan.
+    index_scans: int = 0
 
     def copy(self) -> "StateStats":
         return StateStats(**self.as_dict())
@@ -120,6 +126,8 @@ class StateStats:
             unreplayable=self.unreplayable - before.unreplayable,
             invalidations=self.invalidations - before.invalidations,
             verifications=self.verifications - before.verifications,
+            index_hits=self.index_hits - before.index_hits,
+            index_scans=self.index_scans - before.index_scans,
         )
 
     def merge(self, other: "StateStats") -> None:
@@ -135,6 +143,8 @@ class StateStats:
         self.unreplayable += other.unreplayable
         self.invalidations += other.invalidations
         self.verifications += other.verifications
+        self.index_hits += other.index_hits
+        self.index_scans += other.index_scans
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -144,6 +154,8 @@ class StateStats:
             "unreplayable": self.unreplayable,
             "invalidations": self.invalidations,
             "verifications": self.verifications,
+            "index_hits": self.index_hits,
+            "index_scans": self.index_scans,
         }
 
 
@@ -233,6 +245,21 @@ class StateManager:
         self._recordings: Dict["Spec", SpecRecording] = {}
         self._unreplayable: Set["Spec"] = set()
         self._replay_counts: Dict["Spec", int] = {}
+        self._query_seen = database.query_stats.copy()
+
+    def sync_query_stats(self) -> None:
+        """Pull the database's query-planner counters into :class:`StateStats`.
+
+        The database counts index hits and scans continuously; this folds the
+        counts accumulated since the last sync into ``stats`` so
+        ``stats.since(before)`` deltas report them alongside restore counters.
+        """
+
+        current = self.database.query_stats
+        delta = current.since(self._query_seen)
+        self.stats.index_hits += delta.index_hits
+        self.stats.index_scans += delta.scans
+        self._query_seen = current.copy()
 
     # ------------------------------------------------------------------ lifecycle
 

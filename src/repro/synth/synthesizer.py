@@ -237,6 +237,10 @@ class _RunCounters:
         self.cache_before = cache.stats.copy()
         self.state_before = state.stats.copy() if state is not None else None
         self.resets_before = problem.reset_replays
+        self.database = problem.database
+        self.query_before = (
+            self.database.query_stats.copy() if self.database is not None else None
+        )
 
     def finish(self, result: SynthesisResult) -> SynthesisResult:
         """Fold this run's counter deltas into the result; release the cache.
@@ -258,6 +262,9 @@ class _RunCounters:
         result.stats.store_hits = cache_stats.store_hits
         result.stats.store_misses = cache_stats.store_misses
         if self.state is not None and self.state_before is not None:
+            # Fold the run's query-planner counters into the manager first so
+            # the state-stats delta below carries them too.
+            self.state.sync_query_stats()
             state_stats = self.state.stats.since(self.state_before)
             result.state_stats = state_stats
             result.stats.state_restores = state_stats.restores
@@ -265,6 +272,10 @@ class _RunCounters:
         result.stats.reset_replays = (
             result.problem.reset_replays - self.resets_before
         )
+        if self.database is not None and self.query_before is not None:
+            query_stats = self.database.query_stats.since(self.query_before)
+            result.stats.index_hits = query_stats.index_hits
+            result.stats.index_scans = query_stats.scans
         return result
 
 
