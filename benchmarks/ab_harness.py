@@ -241,7 +241,7 @@ class ABHarness:
                 return 1
             if meeting < args.min_benchmarks:
                 print(
-                    f"FAIL: only {meeting} benchmarks met the 2x target "
+                    f"FAIL: only {meeting} benchmarks met the {self.ok_noun} "
                     f"(need {args.min_benchmarks})",
                     file=sys.stderr,
                 )

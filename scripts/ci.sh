@@ -31,6 +31,13 @@
 # >= 2x the tree-walker's throughput on >= 3 benchmarks while synthesizing
 # identical programs.  The tier-1 suite additionally runs once with
 # REPRO_EVAL_BACKEND=tree to keep the fallback backend green.
+#
+# The static analysis gates exercise repro.analysis: the annotation linter
+# must stay finding-free over every registered benchmark, the soundness
+# sweep must observe zero dynamic effects the static footprint fails to
+# subsume, and bench_analysis --check must show >= 15% fewer dynamic
+# evaluation operations (interpreter passes + snapshot restores performed)
+# with static pruning on, with identical synthesized programs.
 
 set -euo pipefail
 
@@ -104,6 +111,23 @@ python benchmarks/bench_parallel.py \
     --out "$PARALLEL_REPORT" \
     --check
 
+echo "== annotation lint gate =="
+python scripts/lint_annotations.py --check
+
+echo "== soundness sweep gate =="
+python scripts/soundness_sweep.py \
+    --check \
+    --samples "${CI_SOUNDNESS_SAMPLES:-10}" \
+    --search-limit "${CI_SOUNDNESS_SEARCH_LIMIT:-40}"
+
+echo "== static analysis bench gate =="
+ANALYSIS_REPORT="${CI_ANALYSIS_REPORT:-BENCH_analysis.json}"
+python benchmarks/bench_analysis.py \
+    --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
+    --out "$ANALYSIS_REPORT" \
+    --min-benchmarks 3 \
+    --check
+
 echo "== orm index gate (1e5-row lookup battery + seeded scale smoke) =="
 ORM_REPORT="${CI_ORM_REPORT:-BENCH_orm.json}"
 python benchmarks/bench_orm.py \
@@ -112,4 +136,4 @@ python benchmarks/bench_orm.py \
     --min-benchmarks 3 \
     --check
 
-echo "== ok: reports at $INTERP_REPORT, $REPORT, $STATE_REPORT, $STORE_REPORT, $PARALLEL_REPORT and $ORM_REPORT =="
+echo "== ok: reports at $INTERP_REPORT, $REPORT, $STATE_REPORT, $STORE_REPORT, $PARALLEL_REPORT, $ANALYSIS_REPORT and $ORM_REPORT =="

@@ -1,0 +1,247 @@
+"""Footprint inference: static read/write effects of an expression.
+
+``footprint(expr, env, ct)`` computes a *sound over-approximation* of the
+effects any evaluation of ``expr`` may perform, purely from the class
+table's method annotations:
+
+* literals, variables and constant references are pure;
+* compound nodes union their children's footprints (both branches of an
+  ``if``, both operands of ``or`` -- the abstraction is path-insensitive);
+* a method call adds, for every member of the receiver's (union) type, the
+  *resolved* annotation of the method looked up on that member -- the same
+  ``ct.resolve`` the interpreter consults when it logs the call's effects
+  at runtime, so the dynamic log is subsumed by construction (the
+  differential gate in :mod:`repro.analysis.soundness` audits this);
+* holes are TOP (``<*, *>``): they stand for arbitrary future code.
+
+Anything the analysis cannot type (unknown method, unbound variable, nil
+receiver) widens to TOP through the :func:`footprint` wrapper -- callers
+that prune or fast-path on the footprint then simply do neither.
+
+Like ``check_expr`` (PR 6), results are memoized on the interned node in an
+underscore-prefixed slot (``_fp_memo``, dropped by the AST pickle hook),
+keyed by ``ClassTable.generation`` and the types of the node's free
+variables, so filling a hole recomputes only the root-to-hole spine.  Memo
+hits are surfaced as ``SearchStats.footprint_hits``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Tuple
+
+from repro.lang import ast as A
+from repro.lang import types as T
+from repro.lang.effects import STAR, Effect, EffectPair
+from repro.typesys.class_table import ClassTable, ResolvedSig
+from repro.typesys.typecheck import (
+    SynTypeError,
+    _MEMOIZED_NODES,
+    _memo_key,
+    check_expr,
+    receiver_lookup,
+)
+
+#: The lattice top: an expression that may read and write anything.
+TOP_PAIR = EffectPair(STAR, STAR)
+
+_PURE_PAIR = EffectPair.pure()
+
+#: Per-node footprint memos are cleared beyond this many entries (distinct
+#: class-table generations / free-variable typings), like ``_type_memo``.
+_FP_MEMO_LIMIT = 64
+
+
+def infer(
+    expr: A.Node,
+    env: Mapping[str, T.Type],
+    ct: ClassTable,
+    stats: Optional[Any] = None,
+) -> Tuple[T.Type, EffectPair]:
+    """The type and static effect footprint of ``expr`` under ``env``.
+
+    Types come from :func:`repro.typesys.typecheck.check_expr` (shared memo
+    and all); effects from the footprint pass below.  Raises
+    :class:`SynTypeError` when the expression cannot be typed -- callers
+    that need a total answer use :func:`footprint` instead.  ``stats`` is
+    any object with a ``footprint_hits`` counter (``SearchStats`` in
+    practice); memo hits increment it.
+    """
+
+    return check_expr(expr, env, ct), _pair(expr, env, ct, stats)
+
+
+def footprint(
+    expr: A.Node,
+    env: Mapping[str, T.Type],
+    ct: ClassTable,
+    stats: Optional[Any] = None,
+) -> EffectPair:
+    """Total variant of :func:`infer`: untypeable expressions widen to TOP."""
+
+    try:
+        return _pair(expr, env, ct, stats)
+    except SynTypeError:
+        return TOP_PAIR
+
+
+def _pair(
+    expr: A.Node,
+    env: Mapping[str, T.Type],
+    ct: ClassTable,
+    stats: Optional[Any],
+) -> EffectPair:
+    if not isinstance(expr, _MEMOIZED_NODES):
+        return _pair_structural(expr, env, ct, stats)
+    key = _memo_key(expr, env, ct)
+    if key is None:
+        return _pair_structural(expr, env, ct, stats)
+    memo = expr.__dict__.get("_fp_memo")
+    if memo is not None:
+        hit = memo.get(key)
+        if hit is not None:
+            if stats is not None:
+                stats.footprint_hits += 1
+            ok, payload = hit
+            if ok:
+                return payload
+            raise SynTypeError(payload)
+    try:
+        result = _pair_structural(expr, env, ct, stats)
+    except SynTypeError as error:
+        _memo_store(expr, memo, key, (False, str(error)))
+        raise
+    _memo_store(expr, memo, key, (True, result))
+    return result
+
+
+def _memo_store(expr: A.Node, memo: Optional[dict], key: Tuple, entry: Tuple) -> None:
+    if memo is None:
+        memo = {}
+        object.__setattr__(expr, "_fp_memo", memo)
+    elif len(memo) >= _FP_MEMO_LIMIT:
+        memo.clear()
+    memo[key] = entry
+
+
+def _pair_structural(
+    expr: A.Node,
+    env: Mapping[str, T.Type],
+    ct: ClassTable,
+    stats: Optional[Any],
+) -> EffectPair:
+    if isinstance(
+        expr, (A.NilLit, A.BoolLit, A.IntLit, A.StrLit, A.SymLit)
+    ):
+        return _PURE_PAIR
+    if isinstance(expr, A.Var):
+        if expr.name not in env:
+            raise SynTypeError(f"unbound variable {expr.name}")
+        return _PURE_PAIR
+    if isinstance(expr, A.ConstRef):
+        if not ct.has_class(expr.name):
+            raise SynTypeError(f"unknown constant {expr.name}")
+        return _PURE_PAIR
+    if isinstance(expr, (A.TypedHole, A.EffectHole)):
+        # A hole will be filled with arbitrary well-typed code later; TOP is
+        # the only sound abstraction of "anything".
+        return TOP_PAIR
+    if isinstance(expr, A.Seq):
+        return _pair(expr.first, env, ct, stats).union(
+            _pair(expr.second, env, ct, stats)
+        )
+    if isinstance(expr, A.Let):
+        value_pair = _pair(expr.value, env, ct, stats)
+        inner = dict(env)
+        inner[expr.var] = check_expr(expr.value, env, ct)
+        return value_pair.union(_pair(expr.body, inner, ct, stats))
+    if isinstance(expr, A.If):
+        # Path-insensitive: both branches may run.
+        return (
+            _pair(expr.cond, env, ct, stats)
+            .union(_pair(expr.then_branch, env, ct, stats))
+            .union(_pair(expr.else_branch, env, ct, stats))
+        )
+    if isinstance(expr, A.Not):
+        return _pair(expr.expr, env, ct, stats)
+    if isinstance(expr, A.Or):
+        return _pair(expr.left, env, ct, stats).union(
+            _pair(expr.right, env, ct, stats)
+        )
+    if isinstance(expr, A.HashLit):
+        pair = _PURE_PAIR
+        for _key, value in expr.entries:
+            pair = pair.union(_pair(value, env, ct, stats))
+        return pair
+    if isinstance(expr, A.MethodCall):
+        return _call_pair(expr, env, ct, stats)
+    if isinstance(expr, A.MethodDef):
+        return _pair(expr.body, env, ct, stats)
+    raise SynTypeError(f"cannot analyze expression {expr!r}")
+
+
+def _call_pair(
+    expr: A.MethodCall,
+    env: Mapping[str, T.Type],
+    ct: ClassTable,
+    stats: Optional[Any],
+) -> EffectPair:
+    pair = _pair(expr.receiver, env, ct, stats)
+    for arg in expr.args:
+        pair = pair.union(_pair(arg, env, ct, stats))
+    receiver_type = check_expr(expr.receiver, env, ct)
+    # A union receiver may dispatch to any member at runtime, so the call's
+    # footprint unions every member's resolved annotation -- the same
+    # ``ct.resolve`` the interpreter logs from (runtime receivers that are
+    # *subclasses* of the static member are covered by the region-hierarchy
+    # subsumption the effect lattice already implements).
+    for member in T.union_members(receiver_type):
+        resolved = receiver_lookup(ct, member, expr.name)
+        if resolved is None:
+            raise SynTypeError(
+                f"no method {expr.name!r} on receiver of type {member}"
+            )
+        pair = pair.union(resolved.effects)
+    return pair
+
+
+# ---------------------------------------------------------------------------
+# S-EffApp pre-filter: which library methods can fill an effect hole
+# ---------------------------------------------------------------------------
+
+#: ``(generation, effect) -> [ResolvedSig]`` writer lists, cleared beyond the
+#: limit.  Keyed by the mutation-aware generation token, so a table edit
+#: (new method, coarsened precision) naturally invalidates the lists.
+_WRITERS_MEMO: dict = {}
+_WRITERS_MEMO_LIMIT = 256
+
+
+def writers_for_effect(
+    hole_effect: Effect, ct: ClassTable, stats: Optional[Any] = None
+) -> List[ResolvedSig]:
+    """Resolved synthesis methods whose write effect subsumes ``hole_effect``.
+
+    The S-EffApp pre-filter: instead of re-scanning every synthesis method
+    per effect-hole expansion, the (small) set of eligible writers is
+    computed once per ``(class-table generation, effect)`` and memoized.
+    Order follows ``ct.resolved_synthesis_methods()`` so expansions are
+    byte-identical to the unmemoized scan.
+    """
+
+    from repro.lang.effects import subsumed
+
+    key = (ct.generation, hole_effect)
+    hit = _WRITERS_MEMO.get(key)
+    if hit is not None:
+        if stats is not None:
+            stats.footprint_hits += 1
+        return hit
+    writers = [
+        resolved
+        for resolved in ct.resolved_synthesis_methods()
+        if not resolved.effects.write.is_pure
+        and subsumed(hole_effect, resolved.effects.write, ct)
+    ]
+    if len(_WRITERS_MEMO) >= _WRITERS_MEMO_LIMIT:
+        _WRITERS_MEMO.clear()
+    _WRITERS_MEMO[key] = writers
+    return writers

@@ -55,6 +55,15 @@ class BenchmarkResult:
     # evaluations answered through a hash index vs. full-table scans.
     index_hits: int = 0
     index_scans: int = 0
+    # Static-analysis counters summed across runs (repro.analysis): dynamic
+    # candidate evaluations performed vs. answered statically, footprint
+    # memo hits, restores skipped via the write-pure fast-path, and S-Eff
+    # type fallbacks (each a latent annotation bug; see effect_guided).
+    evaluated: int = 0
+    static_prunes: int = 0
+    footprint_hits: int = 0
+    state_pure_skips: int = 0
+    effect_type_fallbacks: int = 0
 
     @property
     def median_s(self) -> Optional[float]:
@@ -92,6 +101,11 @@ class BenchmarkResult:
         self.reset_replays += outcome.stats.reset_replays
         self.index_hits += outcome.stats.index_hits
         self.index_scans += outcome.stats.index_scans
+        self.evaluated += outcome.stats.evaluated
+        self.static_prunes += outcome.stats.static_prunes
+        self.footprint_hits += outcome.stats.footprint_hits
+        self.state_pure_skips += outcome.stats.state_pure_skips
+        self.effect_type_fallbacks += outcome.stats.effect_type_fallbacks
         if outcome.success:
             self.times_s.append(elapsed)
             self.meth_size = outcome.method_size

@@ -22,6 +22,10 @@ The configuration exposes every knob the paper's evaluation turns:
   ``benchmarks/bench_state.py``'s baseline), and ``verify_recordings`` is an
   opt-in debug mode that periodically re-records a replayed spec's setup and
   raises on nondeterminism;
+* ``static_pruning`` controls the static effect analyses of
+  :mod:`repro.analysis`: pre-evaluation pruning through the normal-form
+  outcome memo and the write-pure restore fast-path (disabling them is the
+  baseline ``benchmarks/bench_analysis.py`` measures against);
 * the remaining limits bound the enumerative search and expose the
   optimizations of Section 4 (solution/guard reuse, negated-guard reuse,
   type narrowing, exploration order) for the ablation benchmarks.
@@ -29,11 +33,26 @@ The configuration exposes every knob the paper's evaluation turns:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.interp.backend import BACKEND_NAMES, default_backend_name
 from repro.lang.effects import PRECISION_PRECISE
+
+
+def default_static_pruning() -> bool:
+    """The process-default for ``SynthConfig.static_pruning``.
+
+    Honors the ``REPRO_STATIC_PRUNING`` environment variable (CI's ablation
+    hook, mirroring ``REPRO_EVAL_BACKEND``): unset or truthy enables the
+    static analyses, ``0``/``false``/``no``/``off`` disables them.
+    """
+
+    value = os.environ.get("REPRO_STATIC_PRUNING")
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "no", "off", "")
 
 #: Exploration orders for the work list (Section 4, "Program Exploration Order").
 ORDER_PAPER = "paper"  # passed assertions desc, then size asc
@@ -82,6 +101,16 @@ class SynthConfig:
     # closure and seed inserts on every candidate evaluation; it only takes
     # effect for problems that carry their database.
     snapshot_state: bool = True
+
+    # Static effect analysis (repro.analysis).  When enabled (the default),
+    # the search (1) answers evaluations of candidates whose effect-normal
+    # form it has already executed from a static memo instead of running
+    # them (repro.analysis.prune -- sound by construction, so synthesized
+    # programs are byte-identical with the knob off), and (2) fast-paths
+    # statically write-pure candidates past the snapshot restore that would
+    # otherwise precede the next evaluation of the same spec.  The process
+    # default honors the REPRO_STATIC_PRUNING environment variable.
+    static_pruning: bool = field(default_factory=default_static_pruning)
 
     # Opt-in debug mode for the snapshot subsystem's determinism contract:
     # when > 0, every Nth replay of a recorded spec re-runs the full

@@ -16,11 +16,12 @@ effect subsumes the hole's effect, or removed entirely by S-EffNil.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.lang import ast as A
 from repro.lang import types as T
 from repro.lang.effects import Effect, subsumed
+from repro.analysis.footprint import infer, writers_for_effect
 from repro.synth.config import SynthConfig
 from repro.synth.enumerate import call_template, env_at_hole
 from repro.synth.goal import SynthesisProblem
@@ -28,17 +29,32 @@ from repro.typesys.typecheck import SynTypeError, check_expr
 
 
 def insert_effect_hole(
-    expr: A.Node, read_effect: Effect, problem: SynthesisProblem
+    expr: A.Node,
+    read_effect: Effect,
+    problem: SynthesisProblem,
+    stats: Optional[Any] = None,
 ) -> A.Node:
     """Rule S-Eff: wrap a failed candidate with an effect hole.
 
-    ``expr`` must be a hole-free candidate; its type is computed under the
-    problem's parameter environment to annotate the trailing typed hole.
+    ``expr`` must be a hole-free candidate; its type is computed (through
+    the footprint pass, sharing its memo) under the problem's parameter
+    environment to annotate the trailing typed hole.
+
+    A candidate that *evaluated* far enough to fail an assertion but cannot
+    be *typed* signals an annotation or typechecker bug; the wrap used to
+    fall back to ``problem.ret_type`` silently, hiding such bugs.  The
+    fallback remains (rejecting the wrap would change synthesized programs)
+    but every occurrence is now counted on ``stats.effect_type_fallbacks``
+    so the bench reports and the soundness sweep surface them.
     """
 
     try:
-        expr_type = check_expr(expr, dict(problem.param_env), problem.class_table)
+        expr_type, _ = infer(
+            expr, dict(problem.param_env), problem.class_table, stats
+        )
     except SynTypeError:
+        if stats is not None:
+            stats.effect_type_fallbacks += 1
         expr_type = problem.ret_type
     taken = list(problem.params) + A.bound_names(expr)
     var = A.fresh_name("t", taken)
@@ -54,6 +70,7 @@ def expand_effect_hole(
     site: A.HoleSite,
     problem: SynthesisProblem,
     config: SynthConfig,
+    stats: Optional[Any] = None,
 ) -> List[A.Node]:
     """Rules S-EffApp and S-EffNil: all one-step fillings of an effect hole."""
 
@@ -62,11 +79,11 @@ def expand_effect_hole(
     ct = problem.class_table
 
     replacements: List[A.Node] = []
-    for resolved in ct.resolved_synthesis_methods():
-        if resolved.effects.write.is_pure:
-            continue
-        if not subsumed(hole.effect, resolved.effects.write, ct):
-            continue
+    # The eligible writers for a given (class table, effect) are memoized by
+    # the footprint module, so repeated expansions of holes carrying the
+    # same read effect -- the common case, since every failing candidate of
+    # one spec tends to miss the same assertion -- skip the method scan.
+    for resolved in writers_for_effect(hole.effect, ct, stats):
         call = call_template(resolved)
         replacements.append(call)
         if config.chain_effect_reads and not resolved.effects.read.is_pure:

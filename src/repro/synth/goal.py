@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 
 from repro.lang import ast as A
 from repro.lang import types as T
+from repro.lang.effects import EffectPair
 from repro.lang.values import truthy, type_of_value
 from repro.interp.effect_log import effect_capture
 from repro.interp.errors import AssertionFailure, SynRuntimeError
@@ -71,6 +72,18 @@ class SpecContext:
         #: Observer attached by :mod:`repro.synth.state` during a recording
         #: pass; ``None`` everywhere else.
         self._recorder: Any = None
+        #: When set (by ``evaluate_spec``), every ``invoke`` runs inside an
+        #: effect capture and appends the observed pair here -- the dynamic
+        #: side of the static/dynamic soundness gate, and the purity witness
+        #: the snapshot manager's restore fast-path consumes.  A crashing
+        #: invoke still appends its partial log (a prefix of the full
+        #: effects, so subsumption checks remain sound).
+        self._capture_invoke = False
+        self.invoke_pairs: List["EffectPair"] = []
+        #: The read/write pair captured around each ``assert_`` condition,
+        #: recorded whether or not the assertion passed (the annotation
+        #: linter's unsatisfiable-spec rule reads these).
+        self.assert_pairs: List["EffectPair"] = []
 
     # -- setup helpers ---------------------------------------------------------
 
@@ -79,7 +92,18 @@ class SpecContext:
 
         if self._recorder is not None:
             self._recorder.before_invoke(self, args)
-        self.result = self.interpreter.call_program(self.program, *args)
+        if self._capture_invoke:
+            with effect_capture() as log:
+                try:
+                    self.result = self.interpreter.call_program(self.program, *args)
+                finally:
+                    # Appended even when the candidate crashes: the partial
+                    # log is a prefix of the run's effects, which is exactly
+                    # what soundness subsumption and the purity fast-path
+                    # need (a pure partial log means nothing was written).
+                    self.invoke_pairs.append(log.pair)
+        else:
+            self.result = self.interpreter.call_program(self.program, *args)
         if self._recorder is not None:
             self._recorder.after_invoke(self)
         return self.result
@@ -104,6 +128,7 @@ class SpecContext:
 
         with effect_capture() as log:
             value = condition() if callable(condition) else condition
+        self.assert_pairs.append(log.pair)
         if truthy(value):
             self.passed_asserts += 1
             return value
@@ -203,6 +228,11 @@ class SynthesisProblem:
 
         self.reset()
         self._reset_count += 1
+        if self._state_manager is not None:
+            # A direct reset mutated the database behind the manager's back;
+            # its restore fast-path marker (see StateManager.note_eval) must
+            # not survive it.
+            self._state_manager.note_external_mutation()
 
     @property
     def reset_replays(self) -> int:
@@ -298,6 +328,10 @@ class SpecOutcome:
     failure: Optional[AssertionFailure] = None
     error: Optional[Exception] = None
     value: Any = None
+    #: Union of the effect pairs dynamically observed around the setup's
+    #: ``ctx.invoke`` calls; only filled under ``capture_invoke`` (the
+    #: soundness checker's differential input), ``None`` otherwise.
+    invoke_pair: Optional[EffectPair] = None
 
     @property
     def has_effect_error(self) -> bool:
@@ -312,6 +346,8 @@ def evaluate_spec(
     state: Optional["StateManager"] = None,
     interpreter: Optional[Interpreter] = None,
     backend: Optional[str] = None,
+    static_write_pure: bool = False,
+    capture_invoke: bool = False,
 ) -> SpecOutcome:
     """Reset global state, run the spec's setup, then its postcondition.
 
@@ -327,9 +363,23 @@ def evaluate_spec(
     ``backend`` selects the evaluation backend for interpreters constructed
     here (``None`` means the process default; see
     :attr:`repro.synth.config.SynthConfig.eval_backend`).
+
+    ``static_write_pure`` tells the evaluation that the candidate's *static*
+    write footprint is pure (:mod:`repro.analysis.footprint`).  The invoke
+    then runs inside an effect capture, and when the dynamic log confirms
+    the purity, the state manager is told the database still equals the
+    spec's pre-invoke snapshot -- letting the *next* replay of the same
+    spec skip its restore entirely (``StateStats.pure_skips``).  The
+    dynamic confirmation makes the fast-path robust against annotation
+    bugs: a lying "pure" annotation costs the skip, never correctness.
+
+    ``capture_invoke`` additionally bypasses the memo (both lookup and
+    store) and returns the dynamically observed effect pair on
+    ``SpecOutcome.invoke_pair`` -- the soundness checker's probe, which
+    must observe a real execution.
     """
 
-    if cache is not None:
+    if cache is not None and not capture_invoke:
         memoized = cache.lookup_spec(problem, program, spec)
         if memoized is not None:
             return memoized
@@ -339,6 +389,8 @@ def evaluate_spec(
         else Interpreter(problem.class_table, backend=backend)
     )
     ctx = SpecContext(problem, program, interp)
+    capture = capture_invoke or (static_write_pure and state is not None)
+    ctx._capture_invoke = capture
     # The state-restore phase is infrastructure: a crashing reset closure or
     # corrupt snapshot must propagate, not be misread (and memoized) as a
     # candidate-induced spec failure.
@@ -364,9 +416,26 @@ def evaluate_spec(
         outcome = SpecOutcome(ok=False, passed_asserts=ctx.passed_asserts, error=error)
     except Exception as error:  # noqa: BLE001 - candidate-induced spec crashes
         outcome = SpecOutcome(ok=False, passed_asserts=ctx.passed_asserts, error=error)
-    if cache is not None:
+    if capture_invoke:
+        outcome.invoke_pair = _union_pairs(ctx.invoke_pairs)
+    if state is not None:
+        # A pure partial log also counts: nothing was written before a crash.
+        clean = (
+            static_write_pure
+            and capture
+            and all(pair.write.is_pure for pair in ctx.invoke_pairs)
+        )
+        state.note_eval(spec, clean)
+    if cache is not None and not capture_invoke:
         cache.store_spec(problem, program, spec, outcome)
     return outcome
+
+
+def _union_pairs(pairs: Sequence[EffectPair]) -> EffectPair:
+    result = EffectPair.pure()
+    for pair in pairs:
+        result = result.union(pair)
+    return result
 
 
 def evaluate_all_specs(
@@ -378,6 +447,7 @@ def evaluate_all_specs(
     stats: Optional["SearchStats"] = None,
     state: Optional["StateManager"] = None,
     backend: Optional[str] = None,
+    static_write_pure: bool = False,
 ) -> bool:
     """Whether ``program`` passes every spec (used by merge validation).
 
@@ -409,6 +479,7 @@ def evaluate_all_specs(
             state=state,
             interpreter=interpreter,
             backend=backend,
+            static_write_pure=static_write_pure,
         )
         if not outcome.ok:
             return False
@@ -423,6 +494,7 @@ def evaluate_guard(
     cache: Optional["SynthCache"] = None,
     state: Optional["StateManager"] = None,
     backend: Optional[str] = None,
+    static_write_pure: bool = False,
 ) -> bool:
     """Whether ``guard`` (as the whole method body) evaluates to ``expect``.
 
@@ -444,6 +516,10 @@ def evaluate_guard(
             return memoized is not None and memoized == expect
     interpreter = Interpreter(problem.class_table, backend=backend)
     ctx = SpecContext(problem, program, interpreter)
+    # Guards are overwhelmingly read-only, so the static purity fast-path
+    # (see evaluate_spec) pays off most in guard search: consecutive guard
+    # trials against the same spec skip the restore between them.
+    ctx._capture_invoke = static_write_pure and state is not None
     # As in evaluate_spec, restore failures are infrastructure errors and
     # propagate; only the guard's own execution can reject it.
     if state is not None:
@@ -459,6 +535,13 @@ def evaluate_guard(
         raise
     except Exception:  # noqa: BLE001 - a crashing guard is simply rejected
         truthiness = None
+    if state is not None:
+        clean = (
+            static_write_pure
+            and ctx._capture_invoke
+            and all(pair.write.is_pure for pair in ctx.invoke_pairs)
+        )
+        state.note_eval(spec, clean)
     if cache is not None:
         cache.store_guard(problem, program, spec, truthiness)
     return truthiness is not None and truthiness == expect

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.lang import ast as A
+from repro.analysis.footprint import footprint
 from repro.synth.cache import SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.goal import (
@@ -268,11 +269,18 @@ class Merger:
         # rules 6 and 7) before synthesizing the second guard from scratch.
         second_guard: Optional[A.Node] = None
         negated = negate(first_guard)
+        negated_pure = self.config.static_pruning and footprint(
+            negated,
+            dict(self.problem.param_env),
+            self.problem.class_table,
+            self.stats,
+        ).write.is_pure
         if all(
             _guard_holds(
                 self.problem, negated, spec, expect=True,
                 cache=self.cache, state=self.state,
                 backend=self.config.eval_backend,
+                static_write_pure=negated_pure,
             )
             for spec in second.specs
         ) and all(
@@ -280,6 +288,7 @@ class Merger:
                 self.problem, negated, spec, expect=False,
                 cache=self.cache, state=self.state,
                 backend=self.config.eval_backend,
+                static_write_pure=negated_pure,
             )
             for spec in first.specs
         ):
@@ -378,6 +387,15 @@ class Merger:
     def _passes_all_specs(self, program: A.MethodDef) -> bool:
         """Budget-checked, memoized validation of one candidate program."""
 
+        # Merged programs are often pure dispatchers over lookups; proving
+        # the body write-pure lets the batched validation skip the snapshot
+        # restore between consecutive evaluations of the same spec.
+        pure = self.config.static_pruning and footprint(
+            program.body,
+            dict(self.problem.param_env),
+            self.problem.class_table,
+            self.stats,
+        ).write.is_pure
         return evaluate_all_specs(
             self.problem,
             program,
@@ -386,6 +404,7 @@ class Merger:
             stats=self.stats,
             state=self.state,
             backend=self.config.eval_backend,
+            static_write_pure=pure,
         )
 
     def _strengthen_all(
@@ -427,11 +446,13 @@ def _guard_holds(
     cache: Optional[SynthCache] = None,
     state: Optional[StateManager] = None,
     backend: Optional[str] = None,
+    static_write_pure: bool = False,
 ) -> bool:
     from repro.synth.goal import evaluate_guard
 
     return evaluate_guard(
-        problem, guard, spec, expect, cache=cache, state=state, backend=backend
+        problem, guard, spec, expect, cache=cache, state=state, backend=backend,
+        static_write_pure=static_write_pure,
     )
 
 

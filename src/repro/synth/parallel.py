@@ -620,6 +620,7 @@ def run_synthesis_parallel(
         result = run.finish(result)
         result.stats.state_restores += totals.state.restores
         result.stats.state_rebuilds += totals.state.rebuilds
+        result.stats.state_pure_skips += totals.state.pure_skips
         result.stats.reset_replays += totals.reset_replays
         result.stats.index_hits += totals.index_hits
         result.stats.index_scans += totals.index_scans

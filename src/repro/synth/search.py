@@ -22,6 +22,8 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.lang import ast as A
 from repro.lang import types as T
+from repro.analysis.footprint import footprint
+from repro.analysis.prune import StaticPruner
 from repro.synth.cache import NodeInterner, SynthCache
 from repro.synth.config import ORDER_FIFO, ORDER_PAPER, ORDER_SIZE, SynthConfig
 from repro.synth.effect_guided import expand_effect_hole, insert_effect_hole
@@ -82,6 +84,18 @@ class SearchStats:
     # merged totals equal to a serial run's).
     parallel_tasks: int = 0
     parallel_discarded: int = 0
+    # Static-analysis counters (repro.analysis, behind
+    # SynthConfig.static_pruning): candidate evaluations answered from the
+    # normal-form outcome memo instead of the interpreter (disjoint from
+    # ``evaluated``), footprint/writer-list memo hits, snapshot restores
+    # skipped through the write-pure fast-path (mirrors
+    # StateStats.pure_skips), and S-Eff wraps whose candidate could not be
+    # typed so the hole fell back to the goal's return type (each one a
+    # would-be silent annotation/typing bug; see effect_guided).
+    static_prunes: int = 0
+    footprint_hits: int = 0
+    state_pure_skips: int = 0
+    effect_type_fallbacks: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Fold another run's (or worker's) counters into this one.
@@ -112,6 +126,10 @@ class SearchStats:
         self.hint_reuses += other.hint_reuses
         self.parallel_tasks += other.parallel_tasks
         self.parallel_discarded += other.parallel_discarded
+        self.static_prunes += other.static_prunes
+        self.footprint_hits += other.footprint_hits
+        self.state_pure_skips += other.state_pure_skips
+        self.effect_type_fallbacks += other.effect_type_fallbacks
 
     def as_dict(self) -> dict:
         """Every counter by field name (bench reports, completeness tests)."""
@@ -164,6 +182,7 @@ def _expand(
     expr: A.Node,
     problem: SynthesisProblem,
     config: SynthConfig,
+    stats: Optional[SearchStats] = None,
 ) -> List[A.Node]:
     """One-step expansion of the left-most hole of ``expr``.
 
@@ -176,7 +195,7 @@ def _expand(
         return []
     if isinstance(site.hole, A.TypedHole):
         return expand_typed_hole(expr, site, problem, config)
-    return expand_effect_hole(expr, site, problem, config)
+    return expand_effect_hole(expr, site, problem, config, stats=stats)
 
 
 def generate_for_spec(
@@ -205,17 +224,24 @@ def generate_for_spec(
         config.exploration_order, interner=NodeInterner(cache.stats)
     )
     worklist.push(root if root is not None else A.TypedHole(problem.ret_type), 0)
+    # The static pruner is per-search (one spec, one baseline), so its
+    # normal-form outcome memo can never leak an outcome across specs.
+    pruner = StaticPruner(problem, stats) if config.static_pruning else None
 
     while worklist:
         if budget.expired():
             stats.timed_out = True
             raise SynthesisTimeout(f"timeout while solving {spec.name!r}")
-        if stats.evaluated > config.max_candidates:
+        # Pruned candidates count against the budget exactly like evaluated
+        # ones: with pruning on, every prune replaces one evaluation the
+        # pruning-off search performs, so both exhaust the budget at the
+        # same candidate and synthesize identical programs.
+        if stats.evaluated + stats.static_prunes > config.max_candidates:
             return None
 
         passed, expr = worklist.pop()
         stats.expansions += 1
-        for candidate in _expand(expr, problem, config):
+        for candidate in _expand(expr, problem, config, stats):
             if budget.expired():
                 stats.timed_out = True
                 raise SynthesisTimeout(f"timeout while solving {spec.name!r}")
@@ -227,20 +253,44 @@ def generate_for_spec(
                     stats.pruned_size += 1
                 continue
 
-            stats.evaluated += 1
-            outcome = evaluate_spec(
-                problem,
-                problem.make_program(candidate),
-                spec,
-                cache=cache,
-                state=state,
-                backend=config.eval_backend,
-            )
+            key = None
+            if pruner is not None:
+                key = pruner.key_for(candidate)
+                reused = pruner.outcome_for(key)
+                if reused is not None:
+                    # A semantically equivalent candidate already ran; its
+                    # outcome carries the same ok/passed_asserts/failure
+                    # fields, so every decision below is byte-identical to
+                    # what the evaluation would have produced.
+                    stats.static_prunes += 1
+                    outcome = reused
+                else:
+                    stats.evaluated += 1
+                    outcome = evaluate_spec(
+                        problem,
+                        problem.make_program(candidate),
+                        spec,
+                        cache=cache,
+                        state=state,
+                        backend=config.eval_backend,
+                        static_write_pure=pruner.write_pure(candidate),
+                    )
+                    pruner.record(key, outcome)
+            else:
+                stats.evaluated += 1
+                outcome = evaluate_spec(
+                    problem,
+                    problem.make_program(candidate),
+                    spec,
+                    cache=cache,
+                    state=state,
+                    backend=config.eval_backend,
+                )
             if outcome.ok:
                 return candidate
             if config.use_effects and outcome.has_effect_error:
                 wrapped = insert_effect_hole(
-                    candidate, outcome.failure.read_effect, problem
+                    candidate, outcome.failure.read_effect, problem, stats=stats
                 )
                 # The S-Eff wrap adds nodes (a let, a seq and two holes), so
                 # the size bound must hold for the *wrapped* candidate --
@@ -278,6 +328,12 @@ def generate_guard(
 
     def accepted(guard: A.Node) -> bool:
         stats.evaluated += 1
+        # Guards are mostly pure reads, so consecutive trials against the
+        # same spec can skip the snapshot restore between them when the
+        # static footprint proves the previous guard wrote nothing.
+        pure = config.static_pruning and footprint(
+            guard, dict(problem.param_env), problem.class_table, stats
+        ).write.is_pure
         for spec in positive_specs:
             if not evaluate_guard(
                 problem,
@@ -287,6 +343,7 @@ def generate_guard(
                 cache=cache,
                 state=state,
                 backend=config.eval_backend,
+                static_write_pure=pure,
             ):
                 return False
         for spec in negative_specs:
@@ -298,6 +355,7 @@ def generate_guard(
                 cache=cache,
                 state=state,
                 backend=config.eval_backend,
+                static_write_pure=pure,
             ):
                 return False
         return True
@@ -323,7 +381,7 @@ def generate_guard(
 
         _, expr = worklist.pop()
         stats.expansions += 1
-        for candidate in _expand(expr, problem, config):
+        for candidate in _expand(expr, problem, config, stats):
             # One expansion can yield many hole-free candidates, each of
             # which runs every positive and negative spec; without this
             # per-candidate guard (mirroring generate_for_spec) a single

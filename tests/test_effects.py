@@ -184,6 +184,46 @@ def test_coarsen_pair():
 
 
 # ---------------------------------------------------------------------------
+# Self-resolved regions, purity coarsening, interning
+# ---------------------------------------------------------------------------
+
+
+def test_subsumed_with_self_resolved_regions():
+    resolved = E.Effect.of("self.title").resolve_self("Post")
+    assert E.subsumed(resolved, E.Effect.of("Post"))
+    assert E.subsumed(E.Effect.of("Post.title"), resolved)
+    # Unresolved, "self" is just another class name and matches only itself.
+    unresolved = E.Effect.of("self.title")
+    assert not E.subsumed(unresolved, E.Effect.of("Post"))
+    assert E.subsumed(unresolved, unresolved)
+
+
+def test_union_with_self_resolved_regions():
+    merged = E.Effect.of("self.title").resolve_self("Post") | E.Effect.of("Post.slug")
+    assert merged == E.Effect.of("Post.title", "Post.slug")
+    assert E.subsumed(merged, E.Effect.of("Post"))
+
+
+def test_coarsen_pair_purity_both_sides():
+    pair = E.EffectPair.of(read="Post.title", write="Post.slug")
+    coarse = E.coarsen_pair(pair, E.PRECISION_PURITY)
+    assert coarse.read.is_star and coarse.write.is_star
+    assert E.coarsen_pair(E.EffectPair.pure(), E.PRECISION_PURITY).is_pure
+    # A one-sided pair only widens the impure side.
+    read_only = E.coarsen_pair(E.EffectPair.of(read="Post.title"), E.PRECISION_PURITY)
+    assert read_only.read.is_star and read_only.write.is_pure
+
+
+def test_region_effect_interning_identity():
+    assert E.Effect.region("Post", "title") is E.Effect.region("Post", "title")
+    assert E.Effect.region("Post") is E.Effect.region("Post")
+    assert E.Effect.region("Post", "title") is not E.Effect.region("Post", "slug")
+    # Interned atoms are plain effects: equal to their Effect.of spelling.
+    assert E.Effect.region("Post", "title") == E.Effect.of("Post.title")
+    assert E.Effect.region("Post") == E.Effect.of("Post")
+
+
+# ---------------------------------------------------------------------------
 # Property-based tests
 # ---------------------------------------------------------------------------
 
