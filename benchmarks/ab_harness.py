@@ -43,6 +43,15 @@ RunFn = Callable[[str, float, bool, Optional[str], int], Dict[str, object]]
 #: which must include ``meets_target``.
 DiffFn = Callable[[Dict[str, object], Dict[str, object], bool], Dict[str, object]]
 
+#: Optional paired-measurement hook: (off_section, on_section) -> None,
+#: called after both runs complete and before ``diff``.  Gates whose metric
+#: is a *timing ratio* use it to interleave the two sides' timed rounds
+#: back-to-back (popping private ``_measure`` closures from the sections),
+#: so slow drift in machine speed -- CPU frequency scaling, noisy
+#: neighbours -- hits both sides equally instead of biasing whichever side
+#: happened to run minutes later.
+MeasureFn = Callable[[Dict[str, object], Dict[str, object]], None]
+
 
 @dataclass(frozen=True)
 class ABHarness:
@@ -63,6 +72,8 @@ class ABHarness:
     fail_identical: str
     #: Target noun for the ``--check`` OK line.
     ok_noun: str
+    #: Optional paired-measurement hook (see :data:`MeasureFn`).
+    measure: Optional[MeasureFn] = None
 
     @property
     def entry_keys(self) -> FrozenSet[str]:
@@ -96,6 +107,8 @@ class ABHarness:
         program_on = on.pop("_program")
         on.pop("_text")
 
+        if self.measure is not None:
+            self.measure(off, on)
         identical = program_off == program_on
         entry: Dict[str, object] = {
             "id": benchmark_id,

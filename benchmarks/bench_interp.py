@@ -18,8 +18,11 @@ JSON report comparing the two runs:
   off.evals_per_s``.
 
 The acceptance target (checked by ``--check``, used by ``scripts/ci.sh``)
-is a >= 2x candidate-evaluation throughput improvement on at least
-``--min-benchmarks`` benchmarks, with identical programs everywhere.
+is a >= 3x candidate-evaluation throughput improvement on at least
+``--min-benchmarks`` benchmarks, with identical programs everywhere.  To
+keep the ratio honest on drift-prone runners, the tree and compiled timing
+rounds for one benchmark run interleaved back-to-back (the harness's
+paired-measurement hook) once both sides have synthesized.
 The report/CLI plumbing shared with ``bench_cache.py``/``bench_state.py``
 lives in :mod:`ab_harness`.  The persistent-store options of the shared
 CLI are accepted but unused here (backend choice has no store interaction),
@@ -64,8 +67,10 @@ _REPS_PER_SPEC = 300
 
 #: Timing rounds per backend; the best round is reported.  Scheduling and
 #: GC noise only ever *deflate* a round's rate, so the max is the robust
-#: estimator of what the backend can sustain.
-_ROUNDS = 3
+#: estimator of what the backend can sustain; five rounds keep the estimator
+#: stable on single-core runners where any one round can lose 20%+ to
+#: scheduling jitter.
+_ROUNDS = 5
 
 #: Required keys per section, checked by validate_report (and CI).
 _RUN_KEYS = frozenset(
@@ -105,12 +110,16 @@ def _run(
             "evals_per_s": 0.0,
             "_program": None,
             "_text": None,
+            "_measure": None,
         }
     program = result.program
 
-    # Capture per-spec recordings (pre-invoke snapshot + arguments), then
-    # measure pure ``call_program`` throughput: snapshot restore and the
-    # joint (state, args) deep copy happen outside the timed window.
+    # Capture per-spec recordings (pre-invoke snapshot + arguments) and warm
+    # the backend (compile closures, fill dispatch caches).  The throughput
+    # measurement itself is deferred: ``one_round`` is handed back via the
+    # section's ``_measure`` slot and driven by :func:`_measure_pair` once
+    # *both* backends have synthesized, so the two sides' timed rounds run
+    # interleaved back-to-back instead of minutes apart.
     manager = problem.state_manager()
     for spec in problem.specs:
         evaluate_spec(problem, program, spec, state=manager, backend=backend)
@@ -120,26 +129,37 @@ def _run(
         for rec in (manager.recording_for(spec) for spec in problem.specs)
         if rec is not None
     ]
-    for rec in recordings:  # warmup: compile closures, warm dispatch caches
+    for rec in recordings:
         problem.database.restore(rec.snapshot)
         _, args = copy.deepcopy((rec.state, rec.args))
         try:
             interp.call_program(program, *args)
         except Exception:
             pass
-    evals_per_s, evaluations = 0.0, 0
-    gc_was_enabled = gc.isenabled()
-    try:
-        for _ in range(_ROUNDS):
-            # The per-rep deep copies allocate heavily; keep collector pauses
-            # out of the timed windows (collect between rounds instead).
-            gc.collect()
-            gc.disable()
-            total, count = 0.0, 0
+
+    def one_round() -> "tuple[int, float]":
+        """One timed round: (program invocations, seconds inside them)."""
+
+        total, count = 0.0, 0
+        gc_was_enabled = gc.isenabled()
+        try:
             for rec in recordings:
-                for _ in range(_REPS_PER_SPEC):
-                    problem.database.restore(rec.snapshot)
-                    _, args = copy.deepcopy((rec.state, rec.args))
+                # Pre-materialize the per-rep argument copies.  The joint
+                # (state, args) deep copy preserves aliasing between the
+                # two, but it allocates heavily -- interleaving it with the
+                # timed reps churns the allocator and pollutes the timed
+                # windows, so the copies are built up front and only the
+                # snapshot restore stays between measurements.
+                arg_copies = [
+                    copy.deepcopy((rec.state, rec.args))[1]
+                    for _ in range(_REPS_PER_SPEC)
+                ]
+                restore = problem.database.restore
+                snapshot = rec.snapshot
+                gc.collect()
+                gc.disable()
+                for args in arg_copies:
+                    restore(snapshot)
                     t0 = time.perf_counter()
                     try:
                         interp.call_program(program, *args)
@@ -147,23 +167,54 @@ def _run(
                         pass
                     total += time.perf_counter() - t0
                     count += 1
+                if gc_was_enabled:
+                    gc.enable()
+        finally:
             if gc_was_enabled:
                 gc.enable()
-            evaluations = count
-            if total > 0:
-                evals_per_s = max(evals_per_s, count / total)
-    finally:
-        if gc_was_enabled:
-            gc.enable()
+        return count, total
+
     return {
-        "success": bool(evaluations),
+        "success": True,
         "elapsed_s": round(elapsed_s, 4),
         "backend": backend,
-        "evaluations": evaluations,
-        "evals_per_s": round(evals_per_s, 2),
+        "evaluations": 0,
+        "evals_per_s": 0.0,
         "_program": program,
         "_text": pretty(program),
+        "_measure": one_round,
     }
+
+
+def _measure_pair(off: Dict[str, object], on: Dict[str, object]) -> None:
+    """Interleave the two backends' timed rounds and fill in their rates.
+
+    Round ``i`` of the tree backend runs immediately before round ``i`` of
+    the compiled backend, so slow machine-speed drift (CPU frequency
+    scaling, noisy neighbours) deflates both sides of the ratio equally;
+    the best round per backend is the reported rate (noise only ever
+    deflates a round).
+    """
+
+    rounds = [
+        (section, section.pop("_measure", None)) for section in (off, on)
+    ]
+    best: Dict[int, float] = {0: 0.0, 1: 0.0}
+    evaluations: Dict[int, int] = {0: 0, 1: 0}
+    for _ in range(_ROUNDS):
+        for i, (_, one_round) in enumerate(rounds):
+            if one_round is None:
+                continue
+            count, total = one_round()
+            evaluations[i] = count
+            if total > 0:
+                best[i] = max(best[i], count / total)
+    for i, (section, one_round) in enumerate(rounds):
+        if one_round is None:
+            continue
+        section["success"] = bool(evaluations[i])
+        section["evaluations"] = evaluations[i]
+        section["evals_per_s"] = round(best[i], 2)
 
 
 def _diff(
@@ -172,15 +223,17 @@ def _diff(
     tree_rate = float(off["evals_per_s"])
     compiled_rate = float(on["evals_per_s"])
     speedup = compiled_rate / tree_rate if tree_rate > 0 else 0.0
-    # The ">=2x candidate-evaluation throughput" target: the compiled
-    # backend must re-evaluate the synthesized program at least twice as
-    # fast as the tree walker, and -- backends being observably identical
-    # -- both runs must synthesize byte-identical programs.
+    # The ">=3x candidate-evaluation throughput" target: the compiled
+    # backend must re-evaluate the synthesized program at least three times
+    # as fast as the tree walker, and -- backends being observably identical
+    # -- both runs must synthesize byte-identical programs.  (The gate was
+    # >=2x before the slot-frame refactor; resolved positional frames plus
+    # fused constant-receiver dispatch raised the floor.)
     meets = (
         identical
         and bool(off["success"])
         and bool(on["success"])
-        and speedup >= 2.0
+        and speedup >= 3.0
     )
     return {
         "throughput_speedup": round(speedup, 4),
@@ -191,13 +244,14 @@ def _diff(
 HARNESS = ABHarness(
     generated_by="benchmarks/bench_interp.py",
     section_prefix="interp",
-    target=">=2x candidate-evaluation throughput, identical programs",
+    target=">=3x candidate-evaluation throughput, identical programs",
     run_keys=_RUN_KEYS,
     extra_entry_keys=frozenset({"throughput_speedup"}),
     run=_run,
     diff=_diff,
     fail_identical="eval backend changed a synthesized program",
-    ok_noun="2x throughput target",
+    ok_noun="3x throughput target",
+    measure=_measure_pair,
 )
 
 

@@ -28,9 +28,12 @@
 #
 # The interp gate runs bench_interp --check: the compiled evaluation
 # backend (repro.interp.compile) must re-evaluate synthesized programs at
-# >= 2x the tree-walker's throughput on >= 3 benchmarks while synthesizing
+# >= 3x the tree-walker's throughput on >= 3 benchmarks while synthesizing
 # identical programs.  The tier-1 suite additionally runs once with
-# REPRO_EVAL_BACKEND=tree to keep the fallback backend green.
+# REPRO_EVAL_BACKEND=tree to keep the fallback backend green, and the
+# backend differential suite runs once with REPRO_SLOT_FRAMES=0 so the
+# resolver-identity mode (dynamic name resolution over the same frames)
+# stays observably identical to slot-baked execution.
 #
 # The static analysis gates exercise repro.analysis: the annotation linter
 # must stay finding-free over every registered benchmark, the soundness
@@ -49,6 +52,8 @@ if [[ "${CI_SKIP_TESTS:-0}" != "1" ]]; then
     python -m pytest -x -q
     echo "== tier-1 tests (tree backend fallback) =="
     REPRO_EVAL_BACKEND=tree python -m pytest -x -q
+    echo "== backend differential suite (resolver-identity mode) =="
+    REPRO_SLOT_FRAMES=0 python -m pytest -x -q tests/test_interp_backends.py tests/test_resolve.py
 fi
 
 echo "== interp bench gate =="

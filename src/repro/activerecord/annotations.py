@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Tuple, Type as PyType
 
 from repro.lang import types as T
 from repro.lang.effects import Effect, EffectPair
+from repro.lang.values import HashValue
 from repro.typesys.class_table import ClassTable, MethodSig
 from repro.activerecord.model import Model
 
@@ -430,6 +431,10 @@ def _column_name(value: Any) -> str:
 
 
 def _kwargs(hash_value: Any) -> Dict[str, Any]:
+    if type(hash_value) is HashValue:
+        # Inlined ``to_kwargs`` on the exact-type hot path (every interpreted
+        # hash-argument call comes through here).
+        return {k.name: v for k, v in hash_value._entries.items()}
     if hash_value is None:
         return {}
     if hasattr(hash_value, "to_kwargs"):

@@ -151,14 +151,15 @@ def _indexable(value: Any) -> bool:
 # -- plans and stats -----------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryPlan:
     """How one query was (or would be) answered.
 
     ``kind`` is one of ``"get"`` (primary-key dict lookup), ``"index"``
     (hash-index bucket + residual filter), ``"scan"`` (full iteration) or
     ``"all"`` (O(1) ``len`` shortcut for condition-less count/exists).
-    ``rows_examined`` counts stored rows actually inspected.
+    ``rows_examined`` counts stored rows actually inspected.  Slotted: one
+    is allocated per executed query, on the hot path of every evaluation.
     """
 
     kind: str
@@ -396,10 +397,14 @@ class Table:
     def _index_update(
         self, row_id: int, old_row: Dict[str, Any], changes: Dict[str, Any]
     ) -> None:
-        for column in list(self._indexes):
-            if column not in changes:
+        # Iterate the (usually single-key) change set, not the index map:
+        # ``_mark_unindexable`` may mutate ``self._indexes`` mid-loop, and
+        # ``changes`` is a local the loop can safely walk.
+        indexes = self._indexes
+        for column, new in changes.items():
+            if column not in indexes:
                 continue
-            old, new = old_row.get(column), changes[column]
+            old = old_row.get(column)
             try:
                 # Equal values share a bucket (dict-key equivalence), so the
                 # index is already correct; nothing to move.
@@ -456,6 +461,23 @@ class Table:
         row = self.rows.get(row_id)
         if row is None:
             return None
+        # Value-identical writes leave the table byte-identical (dict-value
+        # equality is exactly what snapshot comparison sees), so they skip
+        # divergence, copy-on-write and index maintenance entirely.  The
+        # effect *log* is unaffected: writes are logged at the model layer
+        # before they reach storage.
+        for key, value in values.items():
+            if key == "id":
+                continue
+            old = row.get(key)
+            try:
+                if old is value or old == value:
+                    continue
+            except Exception:
+                pass
+            break
+        else:
+            return row
         self._diverge()
         if row_id in self._shared:
             # Copy-on-write: the dict is shared with a snapshot; replace it
@@ -470,6 +492,43 @@ class Table:
             self._index_update(row_id, row, changes)
         row.update(changes)
         return row
+
+    def write_one(self, row_id: int, column: str, value: Any) -> bool:
+        """Write a single column; returns whether the row existed.
+
+        The column-accessor hot path (``post.title = ...``): a specialised
+        ``_apply_update`` for the one-key case that skips the values loop,
+        the changes dict and the multi-column index pass.  Semantics are
+        identical, including the value-identical skip and the ``id`` guard.
+        """
+
+        if column == "id":
+            return self.rows.get(row_id) is not None
+        row = self.rows.get(row_id)
+        if row is None:
+            return False
+        old = row.get(column)
+        try:
+            if old is value or old == value:
+                return True
+        except Exception:
+            pass
+        self._origin = None
+        if row_id in self._shared:
+            row = dict(row)
+            self.rows[row_id] = row
+            self._shared.discard(row_id)
+        if not isinstance(value, _ATOMIC):
+            value = copy.deepcopy(value)
+        if column in self._indexes:
+            index = self._writable_index(column)
+            try:
+                self._bucket_discard(column, index, old, row_id)
+                self._bucket_add(column, index, value, row_id)
+            except TypeError:
+                self._mark_unindexable(column)
+        row[column] = value
+        return True
 
     def update(self, row_id: int, values: Dict[str, Any]) -> Optional[Dict[str, Any]]:
         row = self._apply_update(row_id, values)
@@ -564,38 +623,91 @@ class Table:
         limited queries stop examining rows once the limit is reached.
         """
 
-        conditions = dict(conditions) if conditions else {}
-        plan = self.plan(conditions)
+        # Planning is fused with execution (rather than delegated to
+        # ``plan()``) so the chosen index and bucket are probed exactly once
+        # per query; ``plan()`` remains the what-would-you-do API.
         cap = limit if (order is None and limit is not None and limit >= 0) else None
         examined = 0
         ids: List[int] = []
-        if plan.kind == "get":
-            residual = {c: v for c, v in conditions.items() if c != "id"}
-            row = self.rows.get(conditions["id"])
+        rows = self.rows
+        plan: QueryPlan
+        if not conditions:
+            plan = QueryPlan("scan", self.name)
+            if cap is None:
+                ids = list(rows)
+                examined = len(ids)
+            else:
+                for row_id in rows:
+                    if len(ids) >= cap:
+                        break
+                    examined += 1
+                    ids.append(row_id)
+        elif "id" in conditions and _indexable(conditions["id"]):
+            plan = QueryPlan("get", self.name, index_column="id")
+            row = rows.get(conditions["id"])
             if row is not None:
                 examined = 1
-                if all(row.get(c) == v for c, v in residual.items()):
+                if len(conditions) == 1 or all(
+                    row.get(c) == v for c, v in conditions.items() if c != "id"
+                ):
                     ids.append(row["id"])
-        elif plan.kind == "index":
-            index = self._indexes.get(plan.index_column) or {}
-            bucket = index.get(conditions[plan.index_column]) or ()
-            residual = {
-                c: v for c, v in conditions.items() if c != plan.index_column
-            }
-            for row_id in sorted(bucket):
-                if cap is not None and len(ids) >= cap:
-                    break
-                row = self.rows[row_id]
-                examined += 1
-                if all(row.get(c) == v for c, v in residual.items()):
-                    ids.append(row_id)
         else:
-            for row_id, row in self.rows.items():
-                if cap is not None and len(ids) >= cap:
-                    break
-                examined += 1
-                if all(row.get(c) == v for c, v in conditions.items()):
-                    ids.append(row_id)
+            best: Optional[str] = None
+            best_bucket: Any = None
+            best_size = 0
+            if self.indexing:
+                indexes = self._indexes
+                for column, value in conditions.items():
+                    if column == "id":
+                        continue
+                    index = indexes.get(column)
+                    if index is None:
+                        index = self.index_on(column)
+                        if index is None:
+                            continue
+                    # Inlined ``_indexable``: probing the index hashes the
+                    # value anyway (TypeError -> unhashable, scan path), and
+                    # NaN-like values (``v != v``) identity-match in a dict
+                    # but ``==``-miss in a scan, so they must scan too.
+                    try:
+                        bucket = index.get(value)
+                        if value != value:
+                            continue
+                    except Exception:
+                        continue
+                    size = len(bucket) if bucket else 0
+                    if best is None or size < best_size:
+                        best, best_bucket, best_size = column, bucket, size
+                        # A unit (or empty) bucket cannot be beaten; skip
+                        # probing the remaining condition columns.
+                        if size <= 1:
+                            break
+            if best is not None:
+                plan = QueryPlan("index", self.name, index_column=best)
+                if best_bucket:
+                    single = len(conditions) == 1
+                    ordered = (
+                        best_bucket if len(best_bucket) == 1 else sorted(best_bucket)
+                    )
+                    for row_id in ordered:
+                        if cap is not None and len(ids) >= cap:
+                            break
+                        row = rows[row_id]
+                        examined += 1
+                        if single or all(
+                            row.get(c) == v
+                            for c, v in conditions.items()
+                            if c != best
+                        ):
+                            ids.append(row_id)
+            else:
+                plan = QueryPlan("scan", self.name)
+                for row_id, row in rows.items():
+                    if cap is not None and len(ids) >= cap:
+                        break
+                    examined += 1
+                    if all(row.get(c) == v for c, v in conditions.items()):
+                        ids.append(row_id)
         if order is not None:
             rows = self.rows
             ids.sort(
@@ -646,6 +758,14 @@ class Table:
         the first index write -- so restore/evaluate loops stay warm.
         """
 
+        if self._origin is entry:
+            # Still byte-identical to this exact snapshot entry: every
+            # mutation clears ``_origin`` (``_diverge``), and the only
+            # changes that survive with it set -- lazily built indexes,
+            # unindexable markings -- are published into the entry itself.
+            # Restore-evaluate loops over read-only programs hit this path
+            # every iteration and skip the container rebuilds entirely.
+            return
         rows = entry["rows"]
         self.rows = dict(rows)
         self.next_id = entry["next_id"]
@@ -709,6 +829,15 @@ class Database:
     def insert(self, table: str, **values: Any) -> Dict[str, Any]:
         return self.table(table).insert(values)
 
+    def insert_id(self, table: str, values: Dict[str, Any]) -> int:
+        """Insert ``values`` and return only the assigned id (no row copy).
+
+        The model-creation path: the caller already owns a complete values
+        dict, so the ``insert`` return copy would duplicate what it holds.
+        """
+
+        return self.table(table)._insert_row(values)["id"]
+
     def bulk_insert(self, table: str, rows: Iterable[Dict[str, Any]]) -> int:
         return self.table(table).bulk_insert(rows)
 
@@ -717,6 +846,22 @@ class Database:
 
     def update(self, table: str, row_id: int, **values: Any) -> Optional[Dict[str, Any]]:
         return self.table(table).update(row_id, values)
+
+    def write(self, table: str, row_id: int, values: Dict[str, Any]) -> bool:
+        """Merge ``values`` into a stored row without copying it back.
+
+        The column-accessor write path: the caller already holds the values
+        it wrote, so the ``update`` return copy would be discarded (and the
+        dict is taken positionally, skipping a kwargs repack).  Returns
+        whether the row existed.
+        """
+
+        return self.table(table)._apply_update(row_id, values) is not None
+
+    def write_one(self, table: str, row_id: int, column: str, value: Any) -> bool:
+        """Write a single column (the accessor path); no dict, no row copy."""
+
+        return self.table(table).write_one(row_id, column, value)
 
     def delete(self, table: str, row_id: int) -> bool:
         return self.table(table).delete(row_id)
@@ -968,11 +1113,13 @@ class Database:
 
         saved = snap["tables"]
         for name, table in self._tables.items():
-            if name not in saved:
+            if name not in saved and (table.rows or table.next_id != 1):
                 table.clear()
         for name, entry in saved.items():
             self.table(name).adopt(entry)
         snapshot_globals = snap["globals"]
+        if self._globals is snapshot_globals and self._globals_shared:
+            return
         if all(isinstance(value, _ATOMIC) for value in snapshot_globals.values()):
             self._globals = snapshot_globals
             self._globals_shared = True

@@ -22,7 +22,7 @@ from typing import Any, Dict, Iterable, List, Optional, Type as PyType
 
 from repro.lang import types as T
 from repro.lang.effects import Effect
-from repro.interp.effect_log import log_effect
+from repro.interp.effect_log import captures_active, log_effect
 from repro.interp.errors import SynRuntimeError
 from repro.activerecord.database import Database
 
@@ -78,11 +78,13 @@ class Model:
 
     @classmethod
     def _log_read(cls, column: Optional[str] = None) -> None:
-        log_effect(read=Effect.region(cls.model_name, column))
+        if captures_active():
+            log_effect(read=Effect.region(cls.model_name, column))
 
     @classmethod
     def _log_write(cls, column: Optional[str] = None) -> None:
-        log_effect(write=Effect.region(cls.model_name, column))
+        if captures_active():
+            log_effect(write=Effect.region(cls.model_name, column))
 
     # -- class-level query API ---------------------------------------------------
 
@@ -90,10 +92,13 @@ class Model:
     def create(cls, **values: Any) -> "Model":
         cls._check_columns(values)
         cls._log_write(None)
-        defaults = {col: None for col in cls.schema}
+        defaults = dict.fromkeys(cls.schema)
         defaults.update(values)
-        row = cls.database().insert(cls.table_name, **defaults)
-        return cls(row)
+        # The storage layer copies ``defaults`` into the stored row; this
+        # fresh dict (plus the assigned id) then *is* the new instance's
+        # attribute dict -- no round-trip copy of the row.
+        defaults["id"] = cls.database().insert_id(cls.table_name, defaults)
+        return cls._adopt_row(defaults)
 
     @classmethod
     def where(cls, **conditions: Any) -> "Relation":
@@ -114,7 +119,7 @@ class Model:
     def first(cls) -> Optional["Model"]:
         cls._log_read(None)
         rows = cls.database().query(cls.table_name, limit=1)
-        return cls(rows[0]) if rows else None
+        return cls._adopt_row(rows[0]) if rows else None
 
     @classmethod
     def last(cls) -> Optional["Model"]:
@@ -124,7 +129,7 @@ class Model:
         if not ids:
             return None
         row = db.get(cls.table_name, ids[-1])
-        return cls(row) if row is not None else None
+        return cls._adopt_row(row) if row is not None else None
 
     @classmethod
     def exists(cls, **conditions: Any) -> bool:
@@ -136,14 +141,14 @@ class Model:
     def find(cls, row_id: int) -> Optional["Model"]:
         cls._log_read(None)
         row = cls.database().get(cls.table_name, row_id)
-        return cls(row) if row is not None else None
+        return cls._adopt_row(row) if row is not None else None
 
     @classmethod
     def find_by(cls, **conditions: Any) -> Optional["Model"]:
         cls._check_columns(conditions)
         cls._log_read(None)
         rows = cls.database().query(cls.table_name, conditions, limit=1)
-        return cls(rows[0]) if rows else None
+        return cls._adopt_row(rows[0]) if rows else None
 
     @classmethod
     def count(cls, **conditions: Any) -> int:
@@ -153,7 +158,7 @@ class Model:
     @classmethod
     def all(cls) -> List["Model"]:
         cls._log_read(None)
-        return [cls(row) for row in cls.database().all(cls.table_name)]
+        return [cls._adopt_row(row) for row in cls.database().all(cls.table_name)]
 
     @classmethod
     def delete_all(cls) -> int:
@@ -162,16 +167,37 @@ class Model:
 
     @classmethod
     def _check_columns(cls, values: Dict[str, Any]) -> None:
-        unknown = set(values) - set(cls.columns())
-        if unknown:
-            raise SynRuntimeError(
-                f"unknown column(s) {sorted(unknown)} for {cls.model_name}"
-            )
+        # The column set is immutable after class creation; cache it on the
+        # class itself (``__dict__`` lookup, not inheritance, so subclasses
+        # with their own schema never see a parent's cache).
+        columns = cls.__dict__.get("_column_set")
+        if columns is None:
+            columns = frozenset(cls.columns())
+            cls._column_set = columns
+        if values.keys() <= columns:
+            return
+        unknown = set(values) - columns
+        raise SynRuntimeError(
+            f"unknown column(s) {sorted(unknown)} for {cls.model_name}"
+        )
 
     # -- instances ---------------------------------------------------------------
 
     def __init__(self, attributes: Dict[str, Any]) -> None:
         object.__setattr__(self, "_attributes", dict(attributes))
+
+    @classmethod
+    def _adopt_row(cls, row: Dict[str, Any]) -> "Model":
+        """Wrap a row dict the caller cedes ownership of (no re-copy).
+
+        Query methods receive independent row copies from the database
+        layer; re-copying them in ``__init__`` would be pure waste, so they
+        adopt instead.  Never pass a dict that is still referenced elsewhere.
+        """
+
+        instance = cls.__new__(cls)
+        object.__setattr__(instance, "_attributes", row)
+        return instance
 
     @property
     def attributes(self) -> Dict[str, Any]:
@@ -213,7 +239,7 @@ class Model:
         self._attributes[name] = value
         row_id = self._attributes.get("id")
         if row_id is not None:
-            cls.database().update(cls.table_name, row_id, **{name: value})
+            cls.database().write_one(cls.table_name, row_id, name, value)
         return value
 
     def update(self, **values: Any) -> "Model":

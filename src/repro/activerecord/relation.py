@@ -106,7 +106,7 @@ class Relation:
 
     def to_a(self) -> List[Model]:
         self._log_read()
-        return [self.model_cls(row) for row in self._rows()]
+        return [self.model_cls._adopt_row(row) for row in self._rows()]
 
     def first(self) -> Optional[Model]:
         self._log_read()
@@ -118,7 +118,7 @@ class Relation:
             descending=self.descending,
             limit=self._first_limit(),
         )
-        return self.model_cls(rows[0]) if rows else None
+        return self.model_cls._adopt_row(rows[0]) if rows else None
 
     def last(self) -> Optional[Model]:
         self._log_read()
@@ -133,7 +133,7 @@ class Relation:
         if not ids:
             return None
         row = db.get(self.model_cls.table_name, ids[-1])
-        return self.model_cls(row) if row is not None else None
+        return self.model_cls._adopt_row(row) if row is not None else None
 
     def exists(self, **conditions: Any) -> bool:
         self._log_read()

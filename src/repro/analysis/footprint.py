@@ -208,23 +208,46 @@ def _call_pair(
 # S-EffApp pre-filter: which library methods can fill an effect hole
 # ---------------------------------------------------------------------------
 
-#: ``(generation, effect) -> [ResolvedSig]`` writer lists, cleared beyond the
-#: limit.  Keyed by the mutation-aware generation token, so a table edit
-#: (new method, coarsened precision) naturally invalidates the lists.
+#: ``(generation, effect) -> ([ResolvedSig], reordered)`` writer lists,
+#: cleared beyond the limit.  Keyed by the mutation-aware generation token,
+#: so a table edit (new method, coarsened precision) naturally invalidates
+#: the lists.
 _WRITERS_MEMO: dict = {}
 _WRITERS_MEMO_LIMIT = 256
+
+
+def _write_specificity(resolved: ResolvedSig) -> Tuple[int, int, int]:
+    """Sort rank of a writer's write effect; lower sorts first.
+
+    Most-specific-first: writers touching only precise ``A.r`` regions rank
+    before writers with any class-level ``A.*`` atom, which rank before
+    ``*`` writers; within a tier, fewer atoms rank first.  The sort is
+    stable, so declaration order (``ct.resolved_synthesis_methods()``)
+    breaks ties deterministically.
+    """
+
+    effect = resolved.effects.write
+    if effect.is_star:
+        return (2, 0, 0)
+    class_level = sum(1 for region in effect.regions if region.region is None)
+    return (1 if class_level else 0, class_level, len(effect.regions))
 
 
 def writers_for_effect(
     hole_effect: Effect, ct: ClassTable, stats: Optional[Any] = None
 ) -> List[ResolvedSig]:
-    """Resolved synthesis methods whose write effect subsumes ``hole_effect``.
+    """Resolved synthesis methods whose write effect subsumes ``hole_effect``,
+    most-specific-first.
 
     The S-EffApp pre-filter: instead of re-scanning every synthesis method
     per effect-hole expansion, the (small) set of eligible writers is
     computed once per ``(class-table generation, effect)`` and memoized.
-    Order follows ``ct.resolved_synthesis_methods()`` so expansions are
-    byte-identical to the unmemoized scan.
+    The list is ordered by :func:`_write_specificity` so the enumerator
+    tries precise writers (the likeliest minimal fills) before class-level
+    and ``*`` writers; expansions whose order differs from the declaration
+    scan are counted on ``stats.writer_reorders`` (every call with the same
+    effect counts, memo hit or not, so merged parallel counters equal a
+    serial run's).
     """
 
     from repro.lang.effects import subsumed
@@ -232,16 +255,23 @@ def writers_for_effect(
     key = (ct.generation, hole_effect)
     hit = _WRITERS_MEMO.get(key)
     if hit is not None:
+        writers, reordered = hit
         if stats is not None:
             stats.footprint_hits += 1
-        return hit
-    writers = [
+            if reordered:
+                stats.writer_reorders += 1
+        return writers
+    scan = [
         resolved
         for resolved in ct.resolved_synthesis_methods()
         if not resolved.effects.write.is_pure
         and subsumed(hole_effect, resolved.effects.write, ct)
     ]
+    writers = sorted(scan, key=_write_specificity)
+    reordered = writers != scan
     if len(_WRITERS_MEMO) >= _WRITERS_MEMO_LIMIT:
         _WRITERS_MEMO.clear()
-    _WRITERS_MEMO[key] = writers
+    _WRITERS_MEMO[key] = (writers, reordered)
+    if stats is not None and reordered:
+        stats.writer_reorders += 1
     return writers

@@ -25,11 +25,16 @@ interpreter pass for an outcome that is already known.
    rewrites are purely structural, so two candidates with the same normal
    form evaluate identically: same value, same effects, same crashes.
 
-2. A per-search memo maps each normal form to the
+2. A per-search memo maps each normal form -- keyed by its
+   :func:`~repro.lang.resolve.alpha_key`, so candidates differing only in
+   bound-variable names share one entry -- to the
    :class:`~repro.synth.goal.SpecOutcome` its first representative
    produced.  A later candidate with a known normal form reuses the
    outcome without touching the interpreter or the database -- counted as
-   ``SearchStats.static_prunes``.
+   ``SearchStats.static_prunes``.  Alpha-keying is sound because bound
+   names are not observable: evaluation of alpha-equivalent expressions
+   produces the same value, effects and errors (binders resolve to the
+   same frame slots under both namings).
 
 3. On top of the memo, a **witnessed prefix strip**: for ``(p; e)`` where
    the memo proves ``p`` completed without crashing (its own outcome is
@@ -52,9 +57,10 @@ toggles it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Hashable, Optional
 
 from repro.lang import ast as A
+from repro.lang.resolve import alpha_key
 from repro.analysis.footprint import footprint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,22 +77,22 @@ class StaticPruner:
         self.env = dict(problem.param_env)
         self.ct = problem.class_table
         self.stats = stats
-        self._outcomes: Dict[A.Node, "SpecOutcome"] = {}
+        self._outcomes: Dict[Hashable, "SpecOutcome"] = {}
         self._normal: Dict[A.Node, A.Node] = {}
 
     # ------------------------------------------------------------------ keys
 
-    def key_for(self, candidate: A.Node) -> A.Node:
-        """The candidate's pruning key: its reduced normal form."""
+    def key_for(self, candidate: A.Node) -> Hashable:
+        """The candidate's pruning key: its reduced normal form's alpha-key."""
 
-        return self._reduce(self._normalize(candidate))
+        return alpha_key(self._reduce(self._normalize(candidate)))
 
-    def outcome_for(self, key: A.Node) -> Optional["SpecOutcome"]:
+    def outcome_for(self, key: Hashable) -> Optional["SpecOutcome"]:
         """The memoized outcome of a candidate with this key, if any."""
 
         return self._outcomes.get(key)
 
-    def record(self, key: A.Node, outcome: "SpecOutcome") -> None:
+    def record(self, key: Hashable, outcome: "SpecOutcome") -> None:
         self._outcomes[key] = outcome
 
     def write_pure(self, candidate: A.Node) -> bool:
@@ -178,7 +184,7 @@ class StaticPruner:
 
         while isinstance(normal, A.Seq):
             prefix = normal.first
-            witness = self._outcomes.get(self._reduce(prefix))
+            witness = self._outcomes.get(alpha_key(self._reduce(prefix)))
             if witness is None or witness.error is not None:
                 break
             if not footprint(prefix, self.env, self.ct, self.stats).write.is_pure:

@@ -9,9 +9,21 @@ is delegated to an :class:`EvalBackend`:
   dispatch chain on every visit, exactly the definitional semantics the
   interpreter always had;
 * :class:`~repro.interp.compile.CompiledBackend` (``"compiled"``) closes
-  each unique hash-consed subtree into a chain of Python closures once and
-  caches the closure on the node, so the per-node dispatch cost is paid once
-  per *shape* instead of once per evaluation.
+  each unique hash-consed subtree into a chain of Python closures once per
+  binder layout and caches the closures on the node, so the per-node
+  dispatch cost is paid once per *shape* instead of once per evaluation.
+
+Both backends evaluate on the same environment representation, resolved by
+:mod:`repro.lang.resolve`: a flat positional *frame* (a Python list of
+values) described by a parallel *scope* (the tuple of binder names from the
+frame base upward -- parameters first, then enclosing ``let`` binders).  A
+``let`` appends one slot for its body and truncates it afterwards; shadowing
+resolves innermost-first, i.e. to the highest matching index.  The compiled
+backend bakes those indices into closures at compile time while the tree
+walker scans the scope dynamically, which is exactly what keeps the
+differential suite meaningful: a wrong precomputed slot diverges from the
+dynamic scan.  Frames are created fresh per outermost evaluation, and both
+backends maintain ``len(frame) == len(scope)`` at every node entry.
 
 Both backends route effect logging, call-budget charging, constant lookup
 and method dispatch through the same context methods, so they are
@@ -26,7 +38,7 @@ fallback green).
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 from repro.lang import ast as A
 from repro.lang.values import HashValue, Symbol, truthy
@@ -50,11 +62,18 @@ def default_backend_name() -> str:
 
 
 class EvalBackend:
-    """Strategy interface: evaluate ``expr`` under ``env`` in context ``rt``."""
+    """Strategy interface: evaluate ``expr`` on a slot frame in context ``rt``.
+
+    ``scope`` names the frame's slots from the base upward; ``frame`` holds
+    the corresponding values and is owned by the caller for this entry (the
+    backend may grow and shrink it while evaluating ``let`` bodies).
+    """
 
     name: str = "abstract"
 
-    def run(self, rt: "Interpreter", expr: A.Node, env: Dict[str, Any]) -> Any:
+    def run(
+        self, rt: "Interpreter", expr: A.Node, scope: Tuple[str, ...], frame: List[Any]
+    ) -> Any:
         raise NotImplementedError
 
 
@@ -63,10 +82,16 @@ class TreeBackend(EvalBackend):
 
     name = "tree"
 
-    def run(self, rt: "Interpreter", expr: A.Node, env: Dict[str, Any]) -> Any:
-        return self._eval(rt, expr, env)
+    def run(
+        self, rt: "Interpreter", expr: A.Node, scope: Tuple[str, ...], frame: List[Any]
+    ) -> Any:
+        # The walker extends the scope in lockstep with the frame, so it
+        # needs a private mutable copy; the frame itself is per-entry.
+        return self._eval(rt, expr, list(scope), frame)
 
-    def _eval(self, rt: "Interpreter", expr: A.Node, env: Dict[str, Any]) -> Any:
+    def _eval(
+        self, rt: "Interpreter", expr: A.Node, scope: List[str], frame: List[Any]
+    ) -> Any:
         if isinstance(expr, A.NilLit):
             return None
         if isinstance(expr, A.BoolLit):
@@ -80,41 +105,51 @@ class TreeBackend(EvalBackend):
         if isinstance(expr, A.ConstRef):
             return rt._const(expr.name)
         if isinstance(expr, A.Var):
-            if expr.name not in env:
-                raise UnboundVariableError(expr.name)
-            return env[expr.name]
+            # Dynamic name resolution, innermost binder first -- the
+            # behavior the compiled backend's baked slots must reproduce.
+            name = expr.name
+            for i in range(len(scope) - 1, -1, -1):
+                if scope[i] == name:
+                    return frame[i]
+            raise UnboundVariableError(name)
         if isinstance(expr, (A.TypedHole, A.EffectHole)):
             raise SynRuntimeError("cannot evaluate an expression containing holes")
         if isinstance(expr, A.Seq):
-            self._eval(rt, expr.first, env)
-            return self._eval(rt, expr.second, env)
+            self._eval(rt, expr.first, scope, frame)
+            return self._eval(rt, expr.second, scope, frame)
         if isinstance(expr, A.Let):
-            value = self._eval(rt, expr.value, env)
-            inner = dict(env)
-            inner[expr.var] = value
-            return self._eval(rt, expr.body, inner)
+            value = self._eval(rt, expr.value, scope, frame)
+            scope.append(expr.var)
+            frame.append(value)
+            result = self._eval(rt, expr.body, scope, frame)
+            scope.pop()
+            frame.pop()
+            return result
         if isinstance(expr, A.HashLit):
             return HashValue(
-                {Symbol(key): self._eval(rt, value, env) for key, value in expr.entries}
+                {
+                    Symbol(key): self._eval(rt, value, scope, frame)
+                    for key, value in expr.entries
+                }
             )
         if isinstance(expr, A.MethodCall):
             rt.charge_call()
-            receiver = self._eval(rt, expr.receiver, env)
-            args = [self._eval(rt, arg, env) for arg in expr.args]
+            receiver = self._eval(rt, expr.receiver, scope, frame)
+            args = [self._eval(rt, arg, scope, frame) for arg in expr.args]
             return rt.call_method(receiver, expr.name, args)
         if isinstance(expr, A.If):
-            if truthy(self._eval(rt, expr.cond, env)):
-                return self._eval(rt, expr.then_branch, env)
-            return self._eval(rt, expr.else_branch, env)
+            if truthy(self._eval(rt, expr.cond, scope, frame)):
+                return self._eval(rt, expr.then_branch, scope, frame)
+            return self._eval(rt, expr.else_branch, scope, frame)
         if isinstance(expr, A.Not):
-            return not truthy(self._eval(rt, expr.expr, env))
+            return not truthy(self._eval(rt, expr.expr, scope, frame))
         if isinstance(expr, A.Or):
-            left = self._eval(rt, expr.left, env)
+            left = self._eval(rt, expr.left, scope, frame)
             if truthy(left):
                 return left
-            return self._eval(rt, expr.right, env)
+            return self._eval(rt, expr.right, scope, frame)
         if isinstance(expr, A.MethodDef):
-            return self._eval(rt, expr.body, env)
+            return self._eval(rt, expr.body, scope, frame)
         raise SynRuntimeError(f"cannot evaluate {expr!r}")
 
 

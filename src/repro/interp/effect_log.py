@@ -66,6 +66,18 @@ def current_effect_log() -> Optional[EffectLog]:
     return logs[-1] if logs else None
 
 
+def captures_active() -> bool:
+    """Whether any capture window is open.
+
+    Effect-logging call sites that must *build* an effect value before
+    logging it (``Effect.region`` interning, memoized but not free) check
+    this first so the no-capture path -- every call outside a spec
+    assertion -- skips the construction entirely.
+    """
+
+    return bool(_ACTIVE_LOGS.get())
+
+
 def log_effect(read: Effect = PURE, write: Effect = PURE) -> None:
     """Record an effect into every active capture (no-op when none active)."""
 

@@ -57,6 +57,10 @@ class Interpreter:
         self.class_table = class_table
         self.max_calls = max_calls
         self.backend = resolve_backend(backend)
+        #: Bound once: ``call_program`` is the per-candidate entry point of
+        #: the search, so even the ``self.backend.run`` attribute chain is
+        #: off the hot path.
+        self._backend_run = self.backend.run
         self._calls = 0
         self._depth = 0
 
@@ -65,35 +69,46 @@ class Interpreter:
     def eval(self, expr: A.Node, env: Optional[Mapping[str, Any]] = None) -> Any:
         """Evaluate ``expr`` in dynamic environment ``env``.
 
-        The call budget resets only on *outermost* entries: nested
-        evaluations (method implementations re-entering the interpreter)
-        share the outer evaluation's budget instead of silently wiping it.
+        ``env`` is the caller-facing mapping API; internally it is lowered
+        to the slot-frame representation both backends run on -- a scope
+        tuple naming the slots plus a fresh frame list holding the values
+        (see :mod:`repro.interp.backend`).  The call budget resets only on
+        *outermost* entries: nested evaluations (method implementations
+        re-entering the interpreter) share the outer evaluation's budget
+        instead of silently wiping it.
         """
 
+        if env:
+            scope = tuple(env)
+            frame = list(env.values())
+        else:
+            scope = ()
+            frame = []
         if self._depth == 0:
             self._calls = 0
         self._depth += 1
         try:
-            return self.backend.run(self, expr, dict(env or {}))
+            return self._backend_run(self, expr, scope, frame)
         finally:
             self._depth -= 1
 
     def call_program(self, program: A.MethodDef, *args: Any) -> Any:
         """Invoke a synthesized method definition with the given arguments."""
 
-        if len(args) != len(program.params):
+        params = program.params
+        if len(args) != len(params):
             raise SynRuntimeError(
-                f"{program.name} expects {len(program.params)} arguments, "
+                f"{program.name} expects {len(params)} arguments, "
                 f"got {len(args)}"
             )
         # Inlined ``eval`` (this is the per-candidate entry point of the
-        # search): the zipped env is already a fresh dict, so the defensive
-        # copy ``eval`` makes for caller-owned envs is skipped.
+        # search): the parameter tuple *is* the frame's scope, so the frame
+        # is just the argument list -- no env dict is ever built.
         if self._depth == 0:
             self._calls = 0
         self._depth += 1
         try:
-            return self.backend.run(self, program.body, dict(zip(program.params, args)))
+            return self._backend_run(self, program.body, params, list(args))
         finally:
             self._depth -= 1
 

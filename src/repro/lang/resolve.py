@@ -1,0 +1,227 @@
+"""Name resolution for lambda-syn: resolved bindings, computed once per node.
+
+Hash-consing (:mod:`repro.synth.cache`) means the engine sees few *unique*
+subtree shapes, so anything derivable from binding structure alone is worth
+computing once per interned node and memoizing on the instance (the
+``_hash``/``_node_count`` idiom of :mod:`repro.lang.ast`).  This module is
+that resolution pass.  Its products:
+
+* :func:`free_var_tuple` -- the node's free variables as a sorted tuple,
+  the canonical ordering every env-keyed memo in the engine keys by
+  (``typecheck.check_expr``'s incremental memo and, through its shared
+  ``_memo_key``, the footprint memo of :mod:`repro.analysis.footprint`).
+* :func:`slot_of` -- compile-time slot assignment: the frame index a name
+  resolves to under a lexical *scope* (the tuple of binder names from the
+  frame base upward, parameters first, then enclosing ``let`` binders).
+  Both evaluation backends run on flat positional frames whose layout is
+  exactly this scope, so ``slot_of`` is the whole story of variable access:
+  the compiled backend bakes the returned index into a closure
+  (``frame[i]``), the tree walker performs the same innermost-first scan
+  dynamically.
+* :func:`alpha_key` -- a canonical De Bruijn-style key: two expressions get
+  equal keys iff they are alpha-equivalent (identical up to consistent
+  renaming of ``let``-bound and parameter names, with free variables still
+  compared by name).  The :class:`~repro.analysis.prune.StaticPruner` keys
+  its normal-form outcome memo by it so renamed lets share entries, and
+  :class:`~repro.synth.cache.SynthCache` uses it for in-memory spec-outcome
+  keys.
+
+All memos live in underscore-prefixed instance slots (``_fv_tuple``,
+``_alpha_memo``), so the AST pickle hook (``repro.lang.ast._memoless_state``)
+drops them automatically: resolver products never cross the process boundary
+in the parallel subsystem and are recomputed (deterministically) on the far
+side.
+
+``alpha_key`` is memoized *per context*: the key of a subtree depends on its
+position only through the De Bruijn distances of its free variables, so the
+memo is a small per-node dict keyed by that distance tuple.  The
+``REPRO_SLOT_FRAMES=0`` environment override (read at import, overridable for
+tests via :func:`set_slot_frames`) disables compile-time slot assignment: the
+compiled backend then resolves every variable by scanning the scope at run
+time, which CI uses as a resolver-identity smoke -- a wrong precomputed slot
+would diverge from the dynamic scan and fail the differential suite.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.lang import ast as A
+
+#: Per-node ``_alpha_memo`` dicts are cleared beyond this many contexts; real
+#: searches see a handful of binder layouts per subtree (same params, few
+#: fresh ``t0``-style names), so the bound only triggers on pathological use.
+_ALPHA_MEMO_LIMIT = 64
+
+_SLOT_FRAMES = os.environ.get("REPRO_SLOT_FRAMES", "1") != "0"
+
+
+def slot_frames_enabled() -> bool:
+    """Whether compile-time slot assignment is active (default: yes)."""
+
+    return _SLOT_FRAMES
+
+
+def set_slot_frames(enabled: bool) -> bool:
+    """Override the slot-frame mode (tests); returns the previous mode."""
+
+    global _SLOT_FRAMES
+    previous = _SLOT_FRAMES
+    _SLOT_FRAMES = enabled
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Free-variable tuples
+# ---------------------------------------------------------------------------
+
+
+def free_var_tuple(node: A.Node) -> Tuple[str, ...]:
+    """The free variables of ``node``, sorted, as a tuple; memoized per node.
+
+    This is the resolver-canonical ordering of :func:`repro.lang.ast.free_vars`
+    (which stays the set-valued primitive): every memo that keys on "the
+    bindings of the node's free variables" iterates this tuple so keys agree
+    across the typechecker, the footprint analysis and the caches without
+    re-sorting per lookup.
+    """
+
+    cached = node.__dict__.get("_fv_tuple") if hasattr(node, "__dict__") else None
+    if cached is not None:
+        return cached
+    result = tuple(sorted(A.free_vars(node)))
+    object.__setattr__(node, "_fv_tuple", result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Slot assignment
+# ---------------------------------------------------------------------------
+
+
+def slot_of(scope: Tuple[str, ...], name: str) -> Optional[int]:
+    """The frame slot ``name`` resolves to under ``scope``, or ``None``.
+
+    ``scope`` lists binder names from the frame base upward (parameters
+    first, then enclosing ``let`` binders, innermost last); shadowing
+    therefore resolves to the *highest* index, exactly the binding the
+    innermost-first dynamic scan of the tree walker finds.  Both backends
+    maintain the invariant that at every node entry ``len(frame) ==
+    len(scope)``, so the returned index is valid for the lifetime of the
+    enclosing evaluation.
+    """
+
+    for i in range(len(scope) - 1, -1, -1):
+        if scope[i] == name:
+            return i
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Alpha keys
+# ---------------------------------------------------------------------------
+
+
+def alpha_key(node: A.Node, scope: Tuple[str, ...] = ()) -> Hashable:
+    """A canonical key equal for exactly the alpha-equivalent expressions.
+
+    Bound variables (``let`` binders, ``MethodDef`` parameters) are replaced
+    by De Bruijn distances, so ``let a = e in a`` and ``let b = e in b`` key
+    identically; *free* variables keep their names, so ``arg0`` and ``arg1``
+    stay distinct.  ``scope`` names the binders already in force outside
+    ``node`` (outermost first) -- callers keying whole candidates pass the
+    default empty scope.
+    """
+
+    return _alpha(node, scope)
+
+
+def _alpha(node: A.Node, bound: Tuple[str, ...]) -> Hashable:
+    if not hasattr(node, "__dict__"):
+        return _alpha_structural(node, bound)
+    # The key depends on ``bound`` only through the De Bruijn distances of
+    # the node's free variables (every deeper lookup crosses a statically
+    # known number of binders), so that distance tuple is a sound memo
+    # context: same distances, same key.
+    fvt = free_var_tuple(node)
+    context = tuple(_debruijn(bound, name) for name in fvt) if fvt else ()
+    memo = node.__dict__.get("_alpha_memo")
+    if memo is not None:
+        hit = memo.get(context)
+        if hit is not None:
+            return hit
+    key = _alpha_structural(node, bound)
+    if memo is None:
+        memo = {}
+        object.__setattr__(node, "_alpha_memo", memo)
+    elif len(memo) >= _ALPHA_MEMO_LIMIT:
+        memo.clear()
+    memo[context] = key
+    return key
+
+
+def _debruijn(bound: Tuple[str, ...], name: str) -> Optional[int]:
+    """Distance to the innermost binder of ``name``, or ``None`` if free."""
+
+    for i in range(len(bound) - 1, -1, -1):
+        if bound[i] == name:
+            return len(bound) - 1 - i
+    return None
+
+
+def _alpha_structural(node: A.Node, bound: Tuple[str, ...]) -> Hashable:
+    if isinstance(node, A.Var):
+        index = _debruijn(bound, node.name)
+        if index is None:
+            return ("fv", node.name)
+        return index
+    if isinstance(node, A.Let):
+        return (
+            "let",
+            _alpha(node.value, bound),
+            _alpha(node.body, bound + (node.var,)),
+        )
+    if isinstance(node, A.MethodDef):
+        return (
+            "def",
+            node.name,
+            len(node.params),
+            _alpha(node.body, bound + node.params),
+        )
+    if isinstance(node, A.Seq):
+        return ("seq", _alpha(node.first, bound), _alpha(node.second, bound))
+    if isinstance(node, A.MethodCall):
+        return (
+            "call",
+            node.name,
+            _alpha(node.receiver, bound),
+        ) + tuple(_alpha(arg, bound) for arg in node.args)
+    if isinstance(node, A.HashLit):
+        return (
+            "hash",
+            tuple((key, _alpha(value, bound)) for key, value in node.entries),
+        )
+    if isinstance(node, A.If):
+        return (
+            "if",
+            _alpha(node.cond, bound),
+            _alpha(node.then_branch, bound),
+            _alpha(node.else_branch, bound),
+        )
+    if isinstance(node, A.Not):
+        return ("not", _alpha(node.expr, bound))
+    if isinstance(node, A.Or):
+        return ("or", _alpha(node.left, bound), _alpha(node.right, bound))
+    # Leaves (literals, constants, holes) are frozen dataclasses with
+    # structural equality; the node itself is its own canonical key.
+    return node
+
+
+__all__ = [
+    "alpha_key",
+    "free_var_tuple",
+    "set_slot_frames",
+    "slot_frames_enabled",
+    "slot_of",
+]

@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.lang import ast as A
+from repro.lang.resolve import alpha_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.synth.config import SynthConfig
@@ -210,6 +211,12 @@ class SynthCache:
         self.stats = CacheStats()
         self.interner = NodeInterner(self.stats)
         self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        #: Representative program node per key.  Keys identify programs by
+        #: alpha-key, which cannot be turned back into a program; the store
+        #: write-through and the parallel memo export need a real node, so
+        #: the first program recorded under a key is remembered (evicted in
+        #: lockstep with ``_entries``).
+        self._programs: Dict[Tuple, A.Node] = {}
 
     @staticmethod
     def from_config(config: "SynthConfig") -> "SynthCache":
@@ -230,7 +237,12 @@ class SynthCache:
     def _key(
         kind: str, problem: "SynthesisProblem", program: A.Node, spec: "Spec"
     ) -> Tuple:
-        return (kind, program, spec, problem.class_table.effect_precision)
+        # Programs are keyed by their alpha-key (repro.lang.resolve), not
+        # the raw node: bound names are not observable under evaluation, so
+        # candidates differing only in let/parameter naming share one
+        # outcome entry.  The key is deterministic and hash-seed free, so a
+        # parent seeding worker outcomes computes the same keys.
+        return (kind, alpha_key(program), spec, problem.class_table.effect_precision)
 
     # ------------------------------------------------------------------ raw memo
 
@@ -241,11 +253,14 @@ class SynthCache:
         self._entries.move_to_end(key)
         return entry
 
-    def _put(self, key: Tuple, value: Any) -> None:
+    def _put(self, key: Tuple, value: Any, program: Optional[A.Node] = None) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
+        if program is not None and key not in self._programs:
+            self._programs[key] = program
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._programs.pop(evicted, None)
             self.stats.evictions += 1
 
     # ------------------------------------------------------------------ spec memo
@@ -269,7 +284,7 @@ class SynthCache:
                 outcome = self.store.load_spec(problem, program, spec)
                 if outcome is not None:
                     self.stats.store_hits += 1
-                    self._put(key, outcome)
+                    self._put(key, outcome, program)
                     return outcome
                 self.stats.store_misses += 1
             self.stats.spec_misses += 1
@@ -292,7 +307,7 @@ class SynthCache:
         if not self.enabled and not self.track_redundancy:
             return
         key = self._key("spec", problem, program, spec)
-        self._put(key, outcome if self.enabled else _TRACKED)
+        self._put(key, outcome if self.enabled else _TRACKED, program)
 
     # ------------------------------------------------------------------ guard memo
 
@@ -317,7 +332,7 @@ class SynthCache:
                 truth = self.store.load_guard(problem, program, spec)
                 if truth is not STORE_MISS:
                     self.stats.store_hits += 1
-                    self._put(key, truth)
+                    self._put(key, truth, program)
                     return truth
                 self.stats.store_misses += 1
             self.stats.guard_misses += 1
@@ -340,7 +355,7 @@ class SynthCache:
         if not self.enabled and not self.track_redundancy:
             return
         key = self._key("guard", problem, program, spec)
-        self._put(key, truthiness if self.enabled else _TRACKED)
+        self._put(key, truthiness if self.enabled else _TRACKED, program)
 
     # ------------------------------------------------------------------ seeding
 
@@ -373,7 +388,7 @@ class SynthCache:
         if not self.enabled and not self.track_redundancy:
             return
         key = self._key("spec", problem, program, spec)
-        self._put(key, outcome if self.enabled else _TRACKED)
+        self._put(key, outcome if self.enabled else _TRACKED, program)
 
     def seed_guard(
         self,
@@ -393,7 +408,7 @@ class SynthCache:
         if not self.enabled and not self.track_redundancy:
             return
         key = self._key("guard", problem, program, spec)
-        self._put(key, truthiness if self.enabled else _TRACKED)
+        self._put(key, truthiness if self.enabled else _TRACKED, program)
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -407,6 +422,7 @@ class SynthCache:
         """
 
         self._entries.clear()
+        self._programs.clear()
         self.interner.clear()
 
     def invalidate(self) -> None:
@@ -418,6 +434,7 @@ class SynthCache:
         """
 
         self._entries.clear()
+        self._programs.clear()
         self.interner.clear()
         if self.store is not None:
             self.store.invalidate()

@@ -83,6 +83,9 @@ def expand_effect_hole(
     # the footprint module, so repeated expansions of holes carrying the
     # same read effect -- the common case, since every failing candidate of
     # one spec tends to miss the same assertion -- skip the method scan.
+    # The list arrives most-specific-first (precise-region writers before
+    # class-level before ``*``); expansions where that sort changed the
+    # declaration order are counted on ``stats.writer_reorders``.
     for resolved in writers_for_effect(hole.effect, ct, stats):
         call = call_template(resolved)
         replacements.append(call)

@@ -59,6 +59,7 @@ serial one (``timed_out`` result).
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -267,10 +268,14 @@ def _export_memo(cache: SynthCache, problem: "SynthesisProblem") -> List[MemoEnt
 
     index_of = {spec: i for i, spec in enumerate(problem.specs)}
     out: List[MemoEntry] = []
-    # Private access by design: the export *is* the memo content.
-    for (kind, program, spec, _precision), value in cache._entries.items():
+    # Private access by design: the export *is* the memo content.  Keys hold
+    # the program's alpha-key (not a node), so the representative program is
+    # taken from the cache's side map.
+    for key, value in cache._entries.items():
+        kind, _akey, spec, _precision = key
+        program = cache._programs.get(key)
         index = index_of.get(spec)
-        if index is None:  # pragma: no cover - tasks only touch problem specs
+        if index is None or program is None:  # pragma: no cover - tasks only touch problem specs
             continue
         if value is TRACKED:
             out.append((kind, program, index, TRACKED_MARK))
@@ -497,11 +502,28 @@ class ParallelExecutor:
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else "spawn"
             )
-            self._pool = context.Pool(
-                processes=self.jobs,
-                initializer=_worker_init,
-                initargs=(self.base_config, self.store_path, self.store_backend),
-            )
+            # Freeze the parent heap across the fork so workers inherit it
+            # in the GC's permanent generation: a worker's first full
+            # collection then skips every pre-fork object (interned types,
+            # the benchmark registry, memos of earlier synthesis runs)
+            # instead of traversing -- and, under copy-on-write, physically
+            # copying -- all of those pages, a pause that can dwarf the
+            # cells the worker runs.  The parent unfreezes right after the
+            # fork, restoring its own collection behavior.
+            gc.collect()
+            gc.freeze()
+            try:
+                self._pool = context.Pool(
+                    processes=self.jobs,
+                    initializer=_worker_init,
+                    initargs=(
+                        self.base_config,
+                        self.store_path,
+                        self.store_backend,
+                    ),
+                )
+            finally:
+                gc.unfreeze()
         return self._pool
 
     # ------------------------------------------------------------------ submit

@@ -96,6 +96,11 @@ class SearchStats:
     footprint_hits: int = 0
     state_pure_skips: int = 0
     effect_type_fallbacks: int = 0
+    # Effect-hole expansions whose S-EffApp writer list was reordered by the
+    # most-specific-first sort (repro.analysis.footprint.writers_for_effect)
+    # relative to the declaration-order scan; counted per expansion, memo
+    # hit or not, so merged parallel counters equal a serial run's.
+    writer_reorders: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Fold another run's (or worker's) counters into this one.
@@ -130,6 +135,7 @@ class SearchStats:
         self.footprint_hits += other.footprint_hits
         self.state_pure_skips += other.state_pure_skips
         self.effect_type_fallbacks += other.effect_type_fallbacks
+        self.writer_reorders += other.writer_reorders
 
     def as_dict(self) -> dict:
         """Every counter by field name (bench reports, completeness tests)."""

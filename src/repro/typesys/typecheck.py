@@ -31,6 +31,7 @@ from typing import Mapping, Optional, Tuple
 
 from repro.lang import ast as A
 from repro.lang import types as T
+from repro.lang.resolve import free_var_tuple
 from repro.typesys.class_table import ClassTable, ResolvedSig
 
 
@@ -124,15 +125,18 @@ def _memo_key(
 ) -> Optional[Tuple]:
     """The memo key for checking ``expr`` under ``env`` and ``ct``.
 
+    The key is the class-table generation plus the types ``env`` assigns to
+    the node's free variables, in the order of the resolver's
+    :func:`~repro.lang.resolve.free_var_tuple` -- the names themselves are
+    implied by the (per-node) memo, so only the type tuple is stored.
     ``None`` opts out of caching: a free variable missing from ``env`` will
     raise the usual unbound-variable error on the structural path.
     """
 
     if not hasattr(expr, "__dict__"):
         return None
-    names = A.free_vars(expr)
     try:
-        typing = tuple((name, env[name]) for name in sorted(names))
+        typing = tuple(env[name] for name in free_var_tuple(expr))
     except KeyError:
         return None
     return (ct.generation, typing)

@@ -460,3 +460,133 @@ def test_lint_flags_unsatisfiable_spec():
         f.rule == "unsatisfiable-spec" and "Gauge.level" in f.message
         for f in findings
     )
+
+
+# ---------------------------------------------------------------------------
+# Alpha-equivalence in the pruner memo (the resolved-binding keys)
+# ---------------------------------------------------------------------------
+
+
+def test_pruner_key_identifies_renamed_lets(blog_problem):
+    """Candidates differing only in let names share one memo entry."""
+
+    pruner = StaticPruner(blog_problem)
+    call = _first_user()
+    # Not eta-reducible (the body uses the binder twice), so the keys
+    # exercise alpha-keying rather than collapsing to the same normal form.
+    a = A.Let("t0", call, A.Seq(A.Var("t0"), A.Var("t0")))
+    b = A.Let("fresh", call, A.Seq(A.Var("fresh"), A.Var("fresh")))
+    assert a != b
+    assert pruner.key_for(a) == pruner.key_for(b)
+    outcome = SimpleNamespace(error=None)
+    pruner.record(pruner.key_for(a), outcome)
+    assert pruner.outcome_for(pruner.key_for(b)) is outcome
+
+
+def test_pruner_key_keeps_free_variables_distinct(blog_problem):
+    pruner = StaticPruner(blog_problem)
+    a = A.Let("t", A.Var("arg0"), A.Seq(A.Var("t"), A.Var("t")))
+    b = A.Let("t", A.Var("arg1"), A.Seq(A.Var("t"), A.Var("t")))
+    assert pruner.key_for(a) != pruner.key_for(b)
+
+
+def test_pruner_witness_strip_is_alpha_invariant(blog_problem):
+    """A witness recorded under one let-name strips renamed prefixes too."""
+
+    pruner = StaticPruner(blog_problem)
+    call = _first_user()
+    prefix_a = A.Let("t0", call, A.Seq(A.Var("t0"), A.Var("t0")))
+    prefix_b = A.Let("x", call, A.Seq(A.Var("x"), A.Var("x")))
+    suffix = A.Var("arg0")
+    pruner.record(pruner.key_for(prefix_a), SimpleNamespace(error=None))
+    assert pruner.key_for(A.Seq(prefix_b, suffix)) == pruner.key_for(suffix)
+
+
+def test_search_shares_memo_across_renamed_candidates(blog_problem):
+    """End-to-end: static_prunes counts renamed-let duplicates as hits."""
+
+    from repro.synth.search import SearchStats
+    from repro.synth.goal import evaluate_spec
+
+    stats = SearchStats()
+    pruner = StaticPruner(blog_problem, stats)
+    call = _first_user()
+    spec = blog_problem.specs[0]
+    manager = blog_problem.state_manager()
+    seen = 0
+    for name in ("t0", "t1", "renamed"):
+        candidate = A.Let(name, call, A.Seq(A.Var(name), A.Var(name)))
+        key = pruner.key_for(candidate)
+        hit = pruner.outcome_for(key)
+        if hit is not None:
+            stats.static_prunes += 1
+            seen += 1
+            continue
+        program = blog_problem.make_program(candidate)
+        outcome = evaluate_spec(blog_problem, program, spec, state=manager)
+        pruner.record(key, outcome)
+    assert seen == 2 and stats.static_prunes == 2
+
+
+# ---------------------------------------------------------------------------
+# Writer ordering (most-specific-first) and the reorder counter
+# ---------------------------------------------------------------------------
+
+
+def test_writers_for_effect_most_specific_first(blog_problem):
+    ct = blog_problem.class_table
+    writers = writers_for_effect(E.Effect.of("User.name"), ct)
+
+    # Column-precise writers come before class-level, class-level before *.
+    def rank(resolved):
+        write = resolved.effects.write
+        if write.is_star:
+            return 2
+        if any(region.region is None for region in write.regions):
+            return 1
+        return 0
+
+    ranks = [rank(resolved) for resolved in writers]
+    assert ranks == sorted(ranks)
+
+
+def test_writer_reorders_counter(blog_problem):
+    """A declaration order that is not specificity order is counted."""
+
+    from repro.corelib import register_corelib
+    from repro.lang.effects import EffectPair
+
+    ct = ClassTable()
+    register_corelib(ct)
+    ct.add_class("Doc")
+    # Declared coarse-first: the star writer, then class-level, then the
+    # column-precise one -- the specificity sort must reverse the scan.
+    ct.add_method(MethodSig(
+        owner="Doc", name="wipe_all", singleton=True,
+        arg_types=(), ret_type=T.NIL,
+        effects=EffectPair(read=E.Effect.pure(), write=E.Effect.star()),
+        impl=lambda interp, recv: None, synthesis=True,
+    ))
+    ct.add_method(MethodSig(
+        owner="Doc", name="touch", singleton=True,
+        arg_types=(), ret_type=T.NIL,
+        effects=EffectPair(read=E.Effect.pure(), write=E.Effect.of("Doc")),
+        impl=lambda interp, recv: None, synthesis=True,
+    ))
+    ct.add_method(MethodSig(
+        owner="Doc", name="retitle", singleton=True,
+        arg_types=(T.STRING,), ret_type=T.NIL,
+        effects=EffectPair(read=E.Effect.pure(), write=E.Effect.of("Doc.title")),
+        impl=lambda interp, recv, v: None, synthesis=True,
+    ))
+    stats = SimpleNamespace(footprint_hits=0, writer_reorders=0)
+    writers = writers_for_effect(E.Effect.of("Doc.title"), ct, stats)
+    names = [resolved.sig.qualified_name for resolved in writers]
+    assert names.index("Doc.retitle") < names.index("Doc.touch") < names.index(
+        "Doc.wipe_all"
+    )
+    assert stats.writer_reorders == 1
+    # Memo hits re-count the reorder, so merged parallel counters match a
+    # serial run's.
+    writers_for_effect(E.Effect.of("Doc.title"), ct, stats)
+    assert stats.writer_reorders == 2 and stats.footprint_hits == 1

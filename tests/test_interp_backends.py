@@ -290,3 +290,122 @@ def test_registry_benchmark_evaluations_identical(bench):
                 f"{bench.id}/{spec.name}: backends diverge on "
                 f"{pretty(program.body)}:\n{per_backend}"
             )
+
+
+# ---------------------------------------------------------------------------
+# Shadowing and capture (the slot-assignment battery)
+# ---------------------------------------------------------------------------
+#
+# Every case here is a binding-structure trap for a compile-time slot
+# assigner: shadowed parameters, rebinding in nested lets, sibling lets that
+# reuse a name at the same depth, a let value referencing the name it is
+# about to shadow, and shadowing confined to one branch of an If.  A wrong
+# baked frame index resolves to the wrong binding; the dynamic innermost-
+# first scan of the tree walker is the ground truth the compiled backend
+# must match value-for-value.
+
+
+def _let(name, value, body):
+    return A.Let(name, value, body)
+
+
+_SHADOWING_CASES = [
+    # Parameter shadowed by a let: the body must see the inner binding.
+    _let("p", A.IntLit(1), A.Var("p")),
+    # ... and the let *value* must still see the outer one.
+    _let("p", A.call(A.Var("n"), "+", A.IntLit(1)), A.Var("p")),
+    # Rebinding chain: each let shadows the previous same-named binder.
+    _let("v", A.IntLit(1), _let("v", A.call(A.Var("v"), "+", A.IntLit(10)), A.Var("v"))),
+    # Triple rebinding, innermost wins.
+    _let(
+        "v",
+        A.IntLit(1),
+        _let("v", A.IntLit(2), _let("v", A.IntLit(3), A.Var("v"))),
+    ),
+    # Sibling lets at the same depth: the second must not see the first's
+    # frame slot as stale state (frames pop between siblings).
+    A.Seq(
+        _let("v", A.IntLit(7), A.Var("v")),
+        _let("v", A.StrLit("x"), A.Var("v")),
+    ),
+    # A shadowing let confined to the then-branch; the else-branch still
+    # resolves the parameter.
+    A.If(
+        A.Var("flag"),
+        _let("n", A.IntLit(100), A.Var("n")),
+        A.Var("n"),
+    ),
+    # The let value reads the binder it is about to shadow (no self-capture).
+    _let("n", A.call(A.Var("n"), "+", A.Var("n")), A.Var("n")),
+    # Shadowing inside a hash literal entry.
+    _let("n", A.IntLit(5), A.hash_lit(title=A.Var("n"), slug=A.Var("s"))),
+    # Escape after pop: the inner let's frame slot must not leak into the
+    # outer expression once its body ends.
+    A.Seq(_let("zz", A.IntLit(9), A.Var("zz")), A.Var("n")),
+    # An unbound name at a slot position that *was* bound in a sibling.
+    A.Seq(_let("w", A.IntLit(1), A.Var("w")), A.Var("w")),
+    # Method-call receiver and args each under their own shadow.
+    _let(
+        "n",
+        A.IntLit(2),
+        A.call(A.Var("n"), "+", _let("n", A.IntLit(40), A.Var("n"))),
+    ),
+    # Or short-circuit with a shadowed binder in the untaken right side.
+    _let("v", A.TRUE, A.Or(A.Var("v"), _let("v", A.NIL, A.Var("v")))),
+]
+
+
+@pytest.mark.parametrize("expr", _SHADOWING_CASES, ids=lambda e: pretty(e)[:60])
+def test_shadowing_battery_backends_identical(orm_class_table, post_model, expr):
+    post_model.create(author="a", title="Hello", slug="hw")
+    env = {"p": post_model.first(), "n": 5, "s": "hw", "flag": True}
+    _assert_backends_agree(orm_class_table, expr, env)
+
+
+def test_shadowing_battery_values(orm_class_table):
+    """Spot-check the actual values, not just tree/compiled agreement."""
+
+    env = {"n": 5, "flag": False}
+    interp = Interpreter(orm_class_table, backend="compiled")
+    assert interp.eval(_SHADOWING_CASES[1], dict(env)) == 6
+    assert interp.eval(_SHADOWING_CASES[2], {"n": 0}) == 11
+    assert interp.eval(_SHADOWING_CASES[3], {}) == 3
+    assert interp.eval(_SHADOWING_CASES[5], dict(env)) == 5
+    assert interp.eval(_SHADOWING_CASES[6], dict(env)) == 10
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_deep_shadowing_tower_resolves_innermost(orm_class_table, backend):
+    """A 30-deep rebinding tower: every level shadows the same name."""
+
+    expr = A.Var("v")
+    for depth in range(30, 0, -1):
+        expr = A.Let("v", A.IntLit(depth), expr)
+    interp = Interpreter(orm_class_table, backend=backend)
+    assert interp.eval(expr, {"v": -1}) == 30
+
+
+def test_resolver_identity_mode_matches_slot_mode(orm_class_table, post_model):
+    """REPRO_SLOT_FRAMES=0 (dynamic scan) agrees with baked slots."""
+
+    from repro.lang.resolve import set_slot_frames, slot_frames_enabled
+
+    ambient_slots = slot_frames_enabled()
+    post_model.create(author="a", title="Hello", slug="hw")
+    env = {"p": post_model.first(), "n": 5, "s": "hw", "flag": True}
+    scope = tuple(env)
+    for expr in _SHADOWING_CASES:
+        baked = _observe("compiled", orm_class_table, expr, env)
+        previous = set_slot_frames(False)
+        try:
+            dynamic = _observe("compiled", orm_class_table, expr, env)
+        finally:
+            set_slot_frames(previous)
+        assert baked == dynamic, f"slot modes diverge on {pretty(expr)}"
+        # The dynamic run compiled its own mode-tagged closure rather than
+        # being served the slot-baked one (when the suite itself runs under
+        # REPRO_SLOT_FRAMES=0 both runs are dynamic, so only #dyn exists).
+        memo = expr.__dict__.get("_compiled")
+        assert memo is not None and ("#dyn", scope) in memo
+        if ambient_slots:
+            assert scope in memo

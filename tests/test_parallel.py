@@ -264,6 +264,7 @@ def test_ast_memo_slots_are_dropped_on_pickle(orm_class_table):
     from repro.interp.compile import compile_node, is_compiled
     from repro.lang import ast as A
     from repro.lang import types as T
+    from repro.lang.resolve import alpha_key, free_var_tuple
     from repro.typesys.typecheck import check_expr
 
     expr = A.Let("v", A.IntLit(5), A.call(A.Var("v"), "+", A.IntLit(1)))
@@ -271,9 +272,13 @@ def test_ast_memo_slots_are_dropped_on_pickle(orm_class_table):
     compile_node(expr)
     check_expr(expr, {}, orm_class_table)
     A.free_vars(expr)
+    free_var_tuple(expr)
+    alpha_key(expr)
     assert is_compiled(expr)
     assert "_type_memo" in expr.__dict__
     assert "_free_vars" in expr.__dict__
+    assert "_fv_tuple" in expr.__dict__
+    assert "_alpha_memo" in expr.__dict__
 
     revived = pickle.loads(pickle.dumps(expr))
     for node in [revived] + [child for _, child in revived.children()]:
@@ -365,3 +370,36 @@ def test_cache_stats_as_dict_and_since_cover_every_counter():
 def test_search_stats_as_dict_covers_every_counter():
     fields = {f.name for f in dataclasses.fields(SearchStats)}
     assert set(SearchStats().as_dict()) == fields
+
+
+# ---------------------------------------------------------------------------
+# Fork hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_pool_creation_freezes_across_fork_and_unfreezes_parent():
+    """Workers inherit the parent heap frozen; the parent is restored.
+
+    The freeze-across-fork keeps a worker's first full collection from
+    traversing (and copy-on-write copying) every pre-fork page; the parent
+    must unfreeze right after so its own collection behavior is unchanged.
+    """
+
+    import gc
+
+    from repro.synth.parallel import ParallelExecutor
+
+    assert gc.get_freeze_count() == 0
+    executor = ParallelExecutor(2, base_config=SynthConfig(timeout_s=60))
+    with executor:
+        executor._get_pool()
+        assert gc.get_freeze_count() == 0
+        # The pool still works after the freeze/unfreeze dance.
+        future = executor.submit_cell(
+            "S4",
+            get_benchmark("S4").make_config(SynthConfig(timeout_s=60)),
+            fresh=False,
+            runs=1,
+        )
+        payloads = future.get()
+    assert payloads and payloads[0].success
