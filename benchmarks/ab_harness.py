@@ -106,6 +106,10 @@ class ABHarness:
         text_off = off.pop("_text")
         program_on = on.pop("_program")
         on.pop("_text")
+        # Optional unified-metrics carriers (repro.obs.metrics snapshots):
+        # surfaced verbatim on the entry when a gate's run provides them.
+        metrics_off = off.pop("_metrics", None)
+        metrics_on = on.pop("_metrics", None)
 
         if self.measure is not None:
             self.measure(off, on)
@@ -117,6 +121,10 @@ class ABHarness:
             "programs_identical": identical,
             "program": text_off,
         }
+        if metrics_off is not None:
+            entry["metrics_off"] = metrics_off
+        if metrics_on is not None:
+            entry["metrics_on"] = metrics_on
         entry.update(self.diff(off, on, identical))
         return entry
 

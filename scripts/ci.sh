@@ -41,6 +41,12 @@
 # subsume, and bench_analysis --check must show >= 15% fewer dynamic
 # evaluation operations (interpreter passes + snapshot restores performed)
 # with static pruning on, with identical synthesized programs.
+#
+# The observability gate runs bench_obs --check: with tracing disabled the
+# repro.obs instrumentation must cost <= 2% on the hot spec-evaluation path
+# (paired A/B bursts against the uninstrumented core), and a traced run of
+# each benchmark must produce a well-formed JSONL trace whose phase spans
+# cover >= 95% of the root span, with identical synthesized programs.
 
 set -euo pipefail
 
@@ -141,4 +147,12 @@ python benchmarks/bench_orm.py \
     --min-benchmarks 3 \
     --check
 
-echo "== ok: reports at $INTERP_REPORT, $REPORT, $STATE_REPORT, $STORE_REPORT, $PARALLEL_REPORT, $ANALYSIS_REPORT and $ORM_REPORT =="
+echo "== observability gate (disabled-tracing overhead + trace validity) =="
+OBS_REPORT="${CI_OBS_REPORT:-BENCH_obs.json}"
+python benchmarks/bench_obs.py \
+    --timeout "${REPRO_BENCH_TIMEOUT:-60}" \
+    --out "$OBS_REPORT" \
+    --min-benchmarks 3 \
+    --check
+
+echo "== ok: reports at $INTERP_REPORT, $REPORT, $STATE_REPORT, $STORE_REPORT, $PARALLEL_REPORT, $ANALYSIS_REPORT, $ORM_REPORT and $OBS_REPORT =="

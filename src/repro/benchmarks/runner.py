@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.benchmarks.registry import BenchmarkSpec
+from repro.obs.metrics import merge_snapshots
 from repro.synth.config import SynthConfig
 from repro.synth.session import SynthesisSession
 from repro.synth.synthesizer import SynthesisResult
@@ -64,6 +65,9 @@ class BenchmarkResult:
     footprint_hits: int = 0
     state_pure_skips: int = 0
     effect_type_fallbacks: int = 0
+    # Unified metrics (repro.obs.metrics): the per-run snapshots folded
+    # together with ``merge_snapshots`` across this result's runs.
+    metrics: Optional[dict] = None
 
     @property
     def median_s(self) -> Optional[float]:
@@ -106,6 +110,12 @@ class BenchmarkResult:
         self.footprint_hits += outcome.stats.footprint_hits
         self.state_pure_skips += outcome.stats.state_pure_skips
         self.effect_type_fallbacks += outcome.stats.effect_type_fallbacks
+        if outcome.metrics is not None:
+            self.metrics = (
+                outcome.metrics
+                if self.metrics is None
+                else merge_snapshots(self.metrics, outcome.metrics)
+            )
         if outcome.success:
             self.times_s.append(elapsed)
             self.meth_size = outcome.method_size

@@ -54,6 +54,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.lang import ast as A
 from repro.lang.resolve import alpha_key
+from repro.obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.synth.config import SynthConfig
@@ -285,6 +286,8 @@ class SynthCache:
                 if outcome is not None:
                     self.stats.store_hits += 1
                     self._put(key, outcome, program)
+                    if trace.TRACER.enabled:
+                        trace.TRACER.annotate(src="store")
                     return outcome
                 self.stats.store_misses += 1
             self.stats.spec_misses += 1
@@ -293,6 +296,8 @@ class SynthCache:
             self.stats.spec_redundant += 1
             return None
         self.stats.spec_hits += 1
+        if trace.TRACER.enabled:
+            trace.TRACER.annotate(src="memo")
         return entry
 
     def store_spec(
@@ -333,6 +338,8 @@ class SynthCache:
                 if truth is not STORE_MISS:
                     self.stats.store_hits += 1
                     self._put(key, truth, program)
+                    if trace.TRACER.enabled:
+                        trace.TRACER.annotate(src="store")
                     return truth
                 self.stats.store_misses += 1
             self.stats.guard_misses += 1
@@ -341,6 +348,8 @@ class SynthCache:
             self.stats.guard_redundant += 1
             return _MISSING
         self.stats.guard_hits += 1
+        if trace.TRACER.enabled:
+            trace.TRACER.annotate(src="memo")
         return entry
 
     def store_guard(

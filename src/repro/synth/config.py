@@ -54,6 +54,18 @@ def default_static_pruning() -> bool:
         return True
     return value.strip().lower() not in ("0", "false", "no", "off", "")
 
+
+def default_trace_path() -> Optional[str]:
+    """The process-default for ``SynthConfig.trace_path``.
+
+    Honors the ``REPRO_TRACE`` environment variable (mirroring
+    ``REPRO_EVAL_BACKEND``): unset or empty leaves tracing off, any other
+    value is the JSONL trace file sessions write (see repro.obs.trace).
+    """
+
+    return os.environ.get("REPRO_TRACE") or None
+
+
 #: Exploration orders for the work list (Section 4, "Program Exploration Order").
 ORDER_PAPER = "paper"  # passed assertions desc, then size asc
 ORDER_SIZE = "size"  # size asc only
@@ -129,6 +141,15 @@ class SynthConfig:
     # process-wide default honors the ``REPRO_EVAL_BACKEND`` environment
     # variable, which CI uses to run the test suite on the tree fallback.
     eval_backend: str = field(default_factory=default_backend_name)
+
+    # Structured tracing (repro.obs.trace).  When set, a SynthesisSession
+    # built from this config installs a JSONL tracer writing to this path
+    # for its lifetime (closed by session.close()); parallel workers ship
+    # their events back to the parent, tagged by worker id.  ``None`` (the
+    # default) keeps the no-op tracer: every instrumentation site then
+    # costs a single attribute check.  The process default honors the
+    # ``REPRO_TRACE`` environment variable.
+    trace_path: Optional[str] = field(default_factory=default_trace_path)
 
     # ------------------------------------------------------------------ modes
 

@@ -23,11 +23,13 @@ of :mod:`repro.synth.implication`; any imprecision is caught by step 4.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.lang import ast as A
 from repro.analysis.footprint import footprint
+from repro.obs import trace
 from repro.synth.cache import SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.goal import (
@@ -70,6 +72,7 @@ class Merger:
         executor: Optional[object] = None,
         benchmark_id: Optional[str] = None,
         worker_totals: Optional[object] = None,
+        metrics: Optional[object] = None,
     ) -> None:
         self.problem = problem
         self.config = config
@@ -88,6 +91,9 @@ class Merger:
         self.executor = executor
         self.benchmark_id = benchmark_id
         self.worker_totals = worker_totals
+        #: Optional phase-time sink (``observe_phase(name, seconds)``); the
+        #: merger reports every guard synthesis under ``guard_search``.
+        self.metrics = metrics
         self.encoder = GuardEncoder()
         #: Guards synthesized so far, reused across tuples (Section 4).
         self.known_guards: List[A.Node] = []
@@ -116,6 +122,7 @@ class Merger:
         positive: Sequence[Spec],
         negative: Sequence[Spec] = (),
     ) -> Optional[A.Node]:
+        started = time.perf_counter()
         guard = generate_guard(
             self.problem,
             positive,
@@ -127,6 +134,8 @@ class Merger:
             cache=self.cache,
             state=self.state,
         )
+        if self.metrics is not None:
+            self.metrics.observe_phase("guard_search", time.perf_counter() - started)
         if guard is not None:
             self.remember_guard(guard)
         return guard
@@ -186,6 +195,10 @@ class Merger:
             task = future.get()
             self.stats.merge(task.stats)
             self.cache.stats.merge(task.cache_stats)
+            if self.metrics is not None:
+                self.metrics.observe_phase("guard_search", task.elapsed_s)
+            if task.trace_events:
+                trace.TRACER.absorb(task.trace_events)
             if self.worker_totals is not None:
                 self.worker_totals.add(task)
             absorb_memo(

@@ -61,11 +61,14 @@ from __future__ import annotations
 
 import gc
 import multiprocessing
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
+from repro.activerecord.database import QueryStats
 from repro.lang import ast as A
+from repro.obs import trace
 from repro.synth.cache import TRACKED, CacheStats, SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.goal import Budget, SynthesisTimeout, evaluate_spec
@@ -110,9 +113,13 @@ class SpecTaskResult:
     cache_stats: CacheStats
     state_stats: Optional[StateStats]
     reset_replays: int
-    index_hits: int
-    index_scans: int
+    query_stats: Optional[QueryStats]
     memo: List[MemoEntry]
+    #: Wall time of the worker's search, reported to the parent's
+    #: ``spec_search`` phase histogram when the task is consumed.
+    elapsed_s: float = 0.0
+    #: Trace events collected in the worker (empty unless tracing is on).
+    trace_events: List[dict] = field(default_factory=list)
 
 
 @dataclass
@@ -125,9 +132,10 @@ class GuardTaskResult:
     cache_stats: CacheStats
     state_stats: Optional[StateStats]
     reset_replays: int
-    index_hits: int
-    index_scans: int
+    query_stats: Optional[QueryStats]
     memo: List[MemoEntry]
+    elapsed_s: float = 0.0
+    trace_events: List[dict] = field(default_factory=list)
 
 
 @dataclass
@@ -144,6 +152,10 @@ class CellTaskResult:
     state_stats: Optional[StateStats]
     specs: int
     lib_methods: int
+    #: The cell run's unified metrics snapshot (``SynthesisResult.metrics``).
+    metrics: Optional[dict] = None
+    #: Trace events collected in the worker (empty unless tracing is on).
+    trace_events: List[dict] = field(default_factory=list)
 
     def to_result(self, problem: "SynthesisProblem") -> SynthesisResult:
         """Rebuild a :class:`SynthesisResult` around the parent's problem."""
@@ -157,6 +169,7 @@ class CellTaskResult:
             stats=self.stats,
             cache_stats=self.cache_stats,
             state_stats=self.state_stats,
+            metrics=self.metrics,
         )
 
 
@@ -172,8 +185,7 @@ class WorkerTotals:
 
     state: StateStats = field(default_factory=StateStats)
     reset_replays: int = 0
-    index_hits: int = 0
-    index_scans: int = 0
+    query: QueryStats = field(default_factory=QueryStats)
     have_state: bool = False
 
     def add(self, task: "SpecTaskResult | GuardTaskResult") -> None:
@@ -181,8 +193,8 @@ class WorkerTotals:
             self.state.merge(task.state_stats)
             self.have_state = True
         self.reset_replays += task.reset_replays
-        self.index_hits += task.index_hits
-        self.index_scans += task.index_scans
+        if task.query_stats is not None:
+            self.query.merge(task.query_stats)
 
 
 # ---------------------------------------------------------------------------
@@ -208,7 +220,13 @@ class _WorkerState:
             if store_path is not None
             else None
         )
-        self.session = SynthesisSession(base_config, store=store)
+        # Workers never write the parent's trace file themselves: their
+        # session must not re-open ``trace_path`` (the parent owns it), so
+        # the path is stripped here.  The *task* configs keep it -- that is
+        # the per-task "collect events for the parent" flag.
+        self.session = SynthesisSession(
+            replace(base_config, trace_path=None), store=store
+        )
 
 
 def _worker_init(
@@ -217,22 +235,40 @@ def _worker_init(
     store_backend: Optional[str],
 ) -> None:
     global _WORKER
+    # A forked worker inherits the parent's live tracer object, including
+    # its open file handle; drop it (without closing the parent's file).
+    trace.reset_after_fork()
     _WORKER = _WorkerState(base_config, store_path, store_backend)
 
 
 def _worker_call(task: Tuple) -> Any:
-    """Task dispatcher run inside the pool; flushes the store per task."""
+    """Task dispatcher run inside the pool; flushes the store per task.
+
+    When the task's config carries a ``trace_path`` the parent is tracing:
+    the worker collects this task's events in memory (tagged with a
+    per-process worker id) and ships them back on the task result for the
+    parent to absorb into its trace.
+    """
 
     kind = task[0]
+    collecting = getattr(task[2], "trace_path", None) is not None
+    if collecting:
+        trace.start_collecting(worker=f"w{os.getpid()}")
     try:
         if kind == "spec":
-            return _run_spec_task(*task[1:])
-        if kind == "guard":
-            return _run_guard_task(*task[1:])
-        if kind == "cell":
-            return _run_cell_task(*task[1:])
-        raise ValueError(f"unknown worker task kind {kind!r}")
+            result = _run_spec_task(*task[1:])
+        elif kind == "guard":
+            result = _run_guard_task(*task[1:])
+        elif kind == "cell":
+            result = _run_cell_task(*task[1:])
+        else:
+            raise ValueError(f"unknown worker task kind {kind!r}")
+        if collecting and kind != "cell":
+            result.trace_events = trace.TRACER.export()
+        return result
     finally:
+        if collecting:
+            trace.reset_after_fork()
         store = _WORKER.session.store if _WORKER is not None else None
         if store is not None:
             store.flush()
@@ -328,6 +364,7 @@ def _run_spec_task(
     )
     expr: Optional[A.Node] = None
     timed_out = False
+    task_started = time.perf_counter()
     try:
         expr = generate_for_spec(
             problem, spec, config, budget=budget, stats=stats, cache=cache, state=state
@@ -335,6 +372,7 @@ def _run_spec_task(
     except SynthesisTimeout:
         timed_out = True
     finally:
+        task_elapsed = time.perf_counter() - task_started
         problem.unregister_cache(cache)
     if state is not None:
         state.sync_query_stats()
@@ -351,9 +389,9 @@ def _run_spec_task(
         cache_stats=cache.stats,
         state_stats=state.stats.since(state_before) if state is not None else None,
         reset_replays=problem.reset_replays - resets_before,
-        index_hits=query_delta.index_hits if query_delta is not None else 0,
-        index_scans=query_delta.scans if query_delta is not None else 0,
+        query_stats=query_delta,
         memo=_export_memo(cache, problem),
+        elapsed_s=task_elapsed,
     )
 
 
@@ -378,6 +416,7 @@ def _run_guard_task(
     )
     guard: Optional[A.Node] = None
     timed_out = False
+    task_started = time.perf_counter()
     try:
         guard = generate_guard(
             problem,
@@ -393,6 +432,7 @@ def _run_guard_task(
     except SynthesisTimeout:
         timed_out = True
     finally:
+        task_elapsed = time.perf_counter() - task_started
         problem.unregister_cache(cache)
     if state is not None:
         state.sync_query_stats()
@@ -408,9 +448,9 @@ def _run_guard_task(
         cache_stats=cache.stats,
         state_stats=state.stats.since(state_before) if state is not None else None,
         reset_replays=problem.reset_replays - resets_before,
-        index_hits=query_delta.index_hits if query_delta is not None else 0,
-        index_scans=query_delta.scans if query_delta is not None else 0,
+        query_stats=query_delta,
         memo=_export_memo(cache, problem),
+        elapsed_s=task_elapsed,
     )
 
 
@@ -455,6 +495,11 @@ def _run_cell_task(
                 state_stats=result.state_stats,
                 specs=len(problem.specs),
                 lib_methods=problem.library_method_count(),
+                metrics=result.metrics,
+                # Drained per run, so every payload carries its own events.
+                trace_events=(
+                    trace.TRACER.export() if trace.TRACER.enabled else []
+                ),
             )
         )
         if not result.success:
@@ -635,6 +680,9 @@ def run_synthesis_parallel(
     def merge_task(task: "SpecTaskResult | GuardTaskResult") -> None:
         stats.merge(task.stats)
         cache.stats.merge(task.cache_stats)
+        run.observe_phase("spec_search", task.elapsed_s)
+        if task.trace_events:
+            trace.TRACER.absorb(task.trace_events)
         totals.add(task)
         absorb_memo(cache, problem, task.memo, write_through)
 
@@ -644,13 +692,21 @@ def run_synthesis_parallel(
         result.stats.state_rebuilds += totals.state.rebuilds
         result.stats.state_pure_skips += totals.state.pure_skips
         result.stats.reset_replays += totals.reset_replays
-        result.stats.index_hits += totals.index_hits
-        result.stats.index_scans += totals.index_scans
+        result.stats.index_hits += totals.query.index_hits
+        result.stats.index_scans += totals.query.scans
         if totals.have_state:
             if result.state_stats is not None:
                 result.state_stats.merge(totals.state)
             else:
                 result.state_stats = totals.state
+        # The registry holds live references to the stats objects mutated
+        # above, so re-snapshotting folds the worker totals into the
+        # exported metrics as well.
+        if result.state_stats is not None:
+            run.registry.attach_stats("state", result.state_stats)
+        if run.query_delta is not None:
+            run.query_delta.merge(totals.query)
+        result.metrics = run.registry.snapshot()
         return result
 
     try:
@@ -684,55 +740,62 @@ def run_synthesis_parallel(
         )
         stats.parallel_tasks += len(pending)
 
-        for index, spec in enumerate(problem.specs):
-            if _reuse_solution(
-                problem, spec, solutions, config, budget, stats, cache, state
-            ):
-                if index in pending:
-                    # The speculative search result is dropped unseen: its
-                    # work must not pollute the counters a serial run would
-                    # report.
-                    stats.parallel_discarded += 1
-                continue
-            hint = validated_hints.get(index)
-            if hint is not None:
-                stats.hint_reuses += 1
-                solutions.append(SpecSolution(expr=hint, specs=(spec,)))
-                continue
-            task = pending[index].get()
-            merge_task(task)
-            if task.timed_out:
-                raise SynthesisTimeout(f"timeout while solving spec #{index}")
-            if task.expr is None:
-                return finish(
-                    SynthesisResult(
-                        problem,
-                        success=False,
-                        solutions=solutions,
-                        elapsed_s=budget.elapsed(),
-                        stats=stats,
+        specs_started = time.perf_counter()
+        with trace.TRACER.span("phase.specs", specs=len(problem.specs)):
+            for index, spec in enumerate(problem.specs):
+                if _reuse_solution(
+                    problem, spec, solutions, config, budget, stats, cache, state
+                ):
+                    if index in pending:
+                        # The speculative search result is dropped unseen:
+                        # its work must not pollute the counters a serial
+                        # run would report.
+                        stats.parallel_discarded += 1
+                    continue
+                hint = validated_hints.get(index)
+                if hint is not None:
+                    stats.hint_reuses += 1
+                    solutions.append(SpecSolution(expr=hint, specs=(spec,)))
+                    continue
+                task = pending[index].get()
+                merge_task(task)
+                if task.timed_out:
+                    raise SynthesisTimeout(f"timeout while solving spec #{index}")
+                if task.expr is None:
+                    return finish(
+                        SynthesisResult(
+                            problem,
+                            success=False,
+                            solutions=solutions,
+                            elapsed_s=budget.elapsed(),
+                            stats=stats,
+                        )
                     )
-                )
-            simplified = simplify(task.expr)
-            if not evaluate_spec(
-                problem, problem.make_program(simplified), spec, cache=cache,
-                state=state, backend=config.eval_backend,
-            ).ok:
-                simplified = task.expr
-            solutions.append(SpecSolution(expr=simplified, specs=(spec,)))
+                simplified = simplify(task.expr)
+                if not evaluate_spec(
+                    problem, problem.make_program(simplified), spec, cache=cache,
+                    state=state, backend=config.eval_backend,
+                ).ok:
+                    simplified = task.expr
+                solutions.append(SpecSolution(expr=simplified, specs=(spec,)))
+        run.observe_phase("specs", time.perf_counter() - specs_started)
 
-        merger = Merger(
-            problem,
-            config,
-            budget=budget,
-            stats=stats,
-            cache=cache,
-            state=state,
-            executor=executor,
-            benchmark_id=benchmark_id,
-            worker_totals=totals,
-        )
-        program = merger.merge(solutions)
+        merge_started = time.perf_counter()
+        with trace.TRACER.span("phase.merge", solutions=len(solutions)):
+            merger = Merger(
+                problem,
+                config,
+                budget=budget,
+                stats=stats,
+                cache=cache,
+                state=state,
+                executor=executor,
+                benchmark_id=benchmark_id,
+                worker_totals=totals,
+                metrics=run,
+            )
+            program = merger.merge(solutions)
+        run.observe_phase("merge", time.perf_counter() - merge_started)
     except SynthesisTimeout:
         stats.timed_out = True
         return finish(

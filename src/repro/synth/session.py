@@ -56,6 +56,7 @@ from typing import (
     Union,
 )
 
+from repro.obs import trace
 from repro.synth.cache import SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.goal import SynthesisProblem
@@ -132,6 +133,15 @@ class SynthesisSession:
         parallel: int = 1,
     ) -> None:
         self.config = config or SynthConfig()
+        #: Tracer lifecycle: the first session whose config carries a
+        #: ``trace_path`` (explicit or via ``REPRO_TRACE``) owns the global
+        #: tracer and closes it on ``close``.  If a tracer is already live
+        #: (an outer session, or a worker's collecting tracer) this session
+        #: nests inside it instead of clobbering its sink.
+        self._owns_tracer = False
+        if self.config.trace_path and not trace.TRACER.enabled:
+            trace.enable(self.config.trace_path)
+            self._owns_tracer = True
         self.store = SpecOutcomeStore.open(store)
         self.cache = SynthCache.from_config(self.config)
         self.cache.store = self.store
@@ -195,16 +205,33 @@ class SynthesisSession:
         """
 
         self._check_open()
+        tracer = trace.TRACER
+        if not tracer.enabled:
+            return self._run_impl(problem, config, fresh_state, parallel, overrides)
+        with tracer.span("session.run") as span:
+            result = self._run_impl(problem, config, fresh_state, parallel, overrides)
+            span.annotate(problem=result.problem.name, success=result.success)
+            return result
+
+    def _run_impl(
+        self,
+        problem: ProblemSource,
+        config: Optional[SynthConfig],
+        fresh_state: bool,
+        parallel: Optional[int],
+        overrides: Mapping[str, Any],
+    ) -> SynthesisResult:
         base = config if config is not None else self.config
         effective = replace(base, **overrides) if overrides else base
-        benchmark = self._as_benchmark(problem)
-        if benchmark is not None:
-            effective = benchmark.make_config(effective)
-        resolved = self._resolve_problem(problem)
-        runner = self._at_precision(resolved, effective.effect_precision)
-        state = self._state_for(runner, effective, fresh_state)
-        self._register(runner)
-        hints = self._hints_for(runner, effective)
+        with trace.TRACER.span("phase.setup"):
+            benchmark = self._as_benchmark(problem)
+            if benchmark is not None:
+                effective = benchmark.make_config(effective)
+            resolved = self._resolve_problem(problem)
+            runner = self._at_precision(resolved, effective.effect_precision)
+            state = self._state_for(runner, effective, fresh_state)
+            self._register(runner)
+            hints = self._hints_for(runner, effective)
         jobs = self.parallel if parallel is None else max(int(parallel), 1)
         if jobs > 1 and not fresh_state:
             benchmark_id = (
@@ -269,17 +296,23 @@ class SynthesisSession:
         sources = self._resolve_sources(problems)
         named_variants = self._normalize_variants(variants)
         jobs = self.parallel if parallel is None else max(int(parallel), 1)
-        if jobs > 1:
-            return self._sweep_parallel(sources, named_variants, warm, jobs)
-        entries: List[SweepEntry] = []
-        for source in sources:
-            benchmark = self._as_benchmark(source)
-            for name, spec in named_variants:
-                variant_config = self._variant_config(spec, benchmark)
-                entries.append(
-                    self._run_cell(source, benchmark, name, variant_config, warm)
-                )
-        return entries
+        with trace.TRACER.span(
+            "session.sweep",
+            problems=len(sources),
+            variants=len(named_variants),
+            warm=warm,
+        ):
+            if jobs > 1:
+                return self._sweep_parallel(sources, named_variants, warm, jobs)
+            entries: List[SweepEntry] = []
+            for source in sources:
+                benchmark = self._as_benchmark(source)
+                for name, spec in named_variants:
+                    variant_config = self._variant_config(spec, benchmark)
+                    entries.append(
+                        self._run_cell(source, benchmark, name, variant_config, warm)
+                    )
+            return entries
 
     def _run_cell(
         self,
@@ -297,13 +330,19 @@ class SynthesisSession:
         not contend with the pool already chewing the registry cells.
         """
 
-        if warm:
-            problem = self._resolve_problem(source)
-            result = self.run(problem, config=variant_config, parallel=1)
-        else:
-            problem = benchmark.build() if benchmark is not None else source
-            with SynthesisSession(variant_config) as cold:
-                result = cold.run(problem, fresh_state=benchmark is None)
+        with trace.TRACER.span(
+            "sweep.cell",
+            label=benchmark.id if benchmark is not None else "<ad-hoc>",
+            variant=variant,
+            warm=warm,
+        ):
+            if warm:
+                problem = self._resolve_problem(source)
+                result = self.run(problem, config=variant_config, parallel=1)
+            else:
+                problem = benchmark.build() if benchmark is not None else source
+                with SynthesisSession(variant_config) as cold:
+                    result = cold.run(problem, fresh_state=benchmark is None)
         return SweepEntry(
             label=benchmark.id if benchmark is not None else problem.name,
             variant=variant,
@@ -359,7 +398,12 @@ class SynthesisSession:
                     self._run_cell(source, benchmark, name, variant_config, warm)
                 )
                 continue
-            payload = future.get()[0]
+            with trace.TRACER.span(
+                "sweep.cell", label=benchmark.id, variant=name, warm=warm
+            ):
+                payload = future.get()[0]
+                if payload.trace_events:
+                    trace.TRACER.absorb(payload.trace_events)
             problem = self._resolve_problem(source)
             result = payload.to_result(problem)
             entries.append(
@@ -448,6 +492,9 @@ class SynthesisSession:
             self._executor = None
         if self.store is not None:
             self.store.flush()
+        if self._owns_tracer:
+            trace.disable()
+            self._owns_tracer = False
         self._closed = True
 
     def __enter__(self) -> "SynthesisSession":

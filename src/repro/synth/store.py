@@ -73,6 +73,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.interp.errors import AssertionFailure, SynRuntimeError
 from repro.lang.effects import Effect, EffectPair, Region
+from repro.obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lang import ast as A
@@ -116,6 +117,34 @@ class StoreStats:
             "compacted": self.compacted,
             "merged_in": self.merged_in,
         }
+
+    def copy(self) -> "StoreStats":
+        return StoreStats(**self.as_dict())
+
+    def since(self, before: "StoreStats") -> "StoreStats":
+        """The counter deltas accumulated after ``before`` was copied."""
+
+        return StoreStats(
+            loaded=self.loaded - before.loaded,
+            stale_dropped=self.stale_dropped - before.stale_dropped,
+            corrupt_file=self.corrupt_file,
+            writes=self.writes - before.writes,
+            flushes=self.flushes - before.flushes,
+            compacted=self.compacted - before.compacted,
+            merged_in=self.merged_in - before.merged_in,
+        )
+
+    def merge(self, other: "StoreStats") -> None:
+        """Fold another store's counters in (every field, like the other
+        stats dataclasses -- the registry completeness test enforces it)."""
+
+        self.loaded += other.loaded
+        self.stale_dropped += other.stale_dropped
+        self.corrupt_file = self.corrupt_file or other.corrupt_file
+        self.writes += other.writes
+        self.flushes += other.flushes
+        self.compacted += other.compacted
+        self.merged_in += other.merged_in
 
 
 # ---------------------------------------------------------------------------
@@ -423,6 +452,8 @@ class SpecOutcomeStore:
         """The persisted outcome for ``(program, spec)``, or ``None``."""
 
         entry = self._raw_get(self._key("spec", problem, program, spec))
+        if trace.TRACER.enabled:
+            trace.TRACER.event("store.lookup", kind="spec", hit=entry is not None)
         if entry is None:
             return None
         try:
@@ -454,6 +485,8 @@ class SpecOutcomeStore:
         crashing guard), or the module sentinel :data:`STORE_MISS`."""
 
         entry = self._raw_get(self._key("guard", problem, program, spec))
+        if trace.TRACER.enabled:
+            trace.TRACER.event("store.lookup", kind="guard", hit=entry is not None)
         if entry is None:
             return STORE_MISS
         truth = entry.get("truth", STORE_MISS)
@@ -699,6 +732,8 @@ class JsonSpecOutcomeStore(SpecOutcomeStore):
         self._dirty = False
         self._wiped = False
         self.stats.flushes += 1
+        if trace.TRACER.enabled:
+            trace.TRACER.event("store.flush", backend="json", entries=len(self))
 
     def raw_entries(self) -> Iterator[Tuple[str, Dict[str, object]]]:
         yield from list(self._entries.items())
@@ -889,6 +924,8 @@ class SQLiteSpecOutcomeStore(SpecOutcomeStore):
         self._touched.clear()
         self._dirty = False
         self.stats.flushes += 1
+        if trace.TRACER.enabled:
+            trace.TRACER.event("store.flush", backend="sqlite", entries=len(self))
 
     def compact(self, max_entries: int) -> int:
         if max_entries < 0:

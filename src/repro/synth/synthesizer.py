@@ -20,11 +20,14 @@ session.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional
+from typing import List, Mapping, Optional, Tuple
 
 from repro.lang import ast as A
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 from repro.synth.cache import CacheStats, SynthCache
 from repro.synth.config import SynthConfig
 from repro.synth.goal import (
@@ -57,6 +60,10 @@ class SynthesisResult:
     #: This run's snapshot/restore counters (None when state management is
     #: disabled or the problem carries no database).
     state_stats: Optional[StateStats] = None
+    #: Unified metrics snapshot (:mod:`repro.obs.metrics`): every stats
+    #: dataclass this run touched plus per-phase wall-time histograms,
+    #: exported through one ``MetricsRegistry.snapshot()``.
+    metrics: Optional[dict] = None
 
     @property
     def method_size(self) -> Optional[int]:
@@ -156,43 +163,53 @@ def run_synthesis(
     solutions: List[SpecSolution] = []
 
     try:
-        for spec in problem.specs:
-            if _reuse_solution(
-                problem, spec, solutions, config, budget, stats, cache, state
-            ):
-                continue
-            hint = _adopt_hint(
-                problem, spec, solution_hints, config, budget, stats, cache, state
-            )
-            if hint is not None:
-                solutions.append(SpecSolution(expr=hint, specs=(spec,)))
-                continue
-            expr = generate_for_spec(
-                problem, spec, config, budget=budget, stats=stats, cache=cache,
-                state=state,
-            )
-            if expr is None:
-                return run.finish(
-                    SynthesisResult(
-                        problem,
-                        success=False,
-                        solutions=solutions,
-                        elapsed_s=budget.elapsed(),
-                        stats=stats,
-                    )
+        specs_started = time.perf_counter()
+        with trace.TRACER.span("phase.specs", specs=len(problem.specs)):
+            for spec in problem.specs:
+                if _reuse_solution(
+                    problem, spec, solutions, config, budget, stats, cache, state
+                ):
+                    continue
+                hint = _adopt_hint(
+                    problem, spec, solution_hints, config, budget, stats, cache,
+                    state,
                 )
-            simplified = simplify(expr)
-            if not evaluate_spec(
-                problem, problem.make_program(simplified), spec, cache=cache,
-                state=state, backend=config.eval_backend,
-            ).ok:
-                simplified = expr
-            solutions.append(SpecSolution(expr=simplified, specs=(spec,)))
+                if hint is not None:
+                    solutions.append(SpecSolution(expr=hint, specs=(spec,)))
+                    continue
+                spec_started = time.perf_counter()
+                expr = generate_for_spec(
+                    problem, spec, config, budget=budget, stats=stats, cache=cache,
+                    state=state,
+                )
+                run.observe_phase("spec_search", time.perf_counter() - spec_started)
+                if expr is None:
+                    return run.finish(
+                        SynthesisResult(
+                            problem,
+                            success=False,
+                            solutions=solutions,
+                            elapsed_s=budget.elapsed(),
+                            stats=stats,
+                        )
+                    )
+                simplified = simplify(expr)
+                if not evaluate_spec(
+                    problem, problem.make_program(simplified), spec, cache=cache,
+                    state=state, backend=config.eval_backend,
+                ).ok:
+                    simplified = expr
+                solutions.append(SpecSolution(expr=simplified, specs=(spec,)))
+        run.observe_phase("specs", time.perf_counter() - specs_started)
 
-        merger = Merger(
-            problem, config, budget=budget, stats=stats, cache=cache, state=state
-        )
-        program = merger.merge(solutions)
+        merge_started = time.perf_counter()
+        with trace.TRACER.span("phase.merge", solutions=len(solutions)):
+            merger = Merger(
+                problem, config, budget=budget, stats=stats, cache=cache,
+                state=state, metrics=run,
+            )
+            program = merger.merge(solutions)
+        run.observe_phase("merge", time.perf_counter() - merge_started)
     except SynthesisTimeout:
         return run.finish(
             SynthesisResult(
@@ -241,6 +258,23 @@ class _RunCounters:
         self.query_before = (
             self.database.query_stats.copy() if self.database is not None else None
         )
+        self.store_before = (
+            cache.store.stats.copy() if cache.store is not None else None
+        )
+        #: Per-phase wall-time observations ((phase, seconds) pairs) folded
+        #: into the result's metrics snapshot; the parallel layer observes
+        #: worker-side spec/guard durations through the same hook.
+        self.phases: List[Tuple[str, float]] = []
+        #: The registry behind ``result.metrics``; kept so the parallel
+        #: layer can re-snapshot after folding worker totals in.
+        self.registry: Optional[MetricsRegistry] = None
+        #: The run's query-planner delta (the registry's ``query`` source);
+        #: the parallel layer merges worker-side planner counters into it
+        #: before re-snapshotting.
+        self.query_delta = None
+
+    def observe_phase(self, phase: str, seconds: float) -> None:
+        self.phases.append((phase, seconds))
 
     def finish(self, result: SynthesisResult) -> SynthesisResult:
         """Fold this run's counter deltas into the result; release the cache.
@@ -273,10 +307,34 @@ class _RunCounters:
         result.stats.reset_replays = (
             result.problem.reset_replays - self.resets_before
         )
+        query_stats = None
         if self.database is not None and self.query_before is not None:
             query_stats = self.database.query_stats.since(self.query_before)
             result.stats.index_hits = query_stats.index_hits
             result.stats.index_scans = query_stats.scans
+        self.query_delta = query_stats
+
+        # Unified metrics export (repro.obs.metrics): the run's stats
+        # dataclasses behind one registry snapshot, plus the per-phase
+        # wall-time histograms.  ``result.stats``/``result.state_stats``
+        # are attached live, so the parallel layer can fold worker totals
+        # in and re-snapshot through ``self.registry``.
+        registry = MetricsRegistry()
+        registry.attach_stats("search", result.stats)
+        registry.attach_stats("cache", cache_stats)
+        if result.state_stats is not None:
+            registry.attach_stats("state", result.state_stats)
+        if query_stats is not None:
+            registry.attach_stats("query", query_stats)
+        if self.cache.store is not None and self.store_before is not None:
+            registry.attach_stats(
+                "store", self.cache.store.stats.since(self.store_before)
+            )
+        for phase, seconds in self.phases:
+            registry.observe_phase(phase, seconds)
+        registry.observe_phase("run", result.elapsed_s)
+        self.registry = registry
+        result.metrics = registry.snapshot()
         return result
 
 

@@ -27,6 +27,14 @@ def test_parallel_sweep_example(capsys):
     assert "store hits" in out
 
 
+def test_traced_run_example(capsys):
+    _run(f"{EXAMPLES_DIR}/traced_run.py")
+    out = capsys.readouterr().out
+    assert "phase wall time" in out
+    assert "phase coverage" in out
+    assert "chrome trace written to" in out
+
+
 @pytest.mark.slow
 def test_update_post_example(capsys):
     _run(f"{EXAMPLES_DIR}/update_post.py")

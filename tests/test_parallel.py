@@ -373,6 +373,69 @@ def test_search_stats_as_dict_covers_every_counter():
 
 
 # ---------------------------------------------------------------------------
+# Trace and metrics merge across workers
+# ---------------------------------------------------------------------------
+
+
+def _span_multiset(path):
+    """Spans as a (name, attrs) multiset: ids, worker tags, parent links and
+    timings aside -- exactly what serial/parallel runs must agree on."""
+
+    import collections
+
+    from repro.obs.tool import load_trace
+
+    _, events = load_trace(path)
+    return collections.Counter(
+        (e["name"], tuple(sorted(e["attrs"].items())))
+        for e in events
+        if e["kind"] == "span"
+    )
+
+
+def test_parallel_trace_merge_matches_serial_span_set(tmp_path):
+    """A traced ``parallel=2`` run must absorb worker spans into the same
+    span set a serial run emits, and its merged metrics totals must equal
+    the serial run's (timing histograms and dispatch bookkeeping aside)."""
+
+    serial_path = str(tmp_path / "serial.jsonl")
+    parallel_path = str(tmp_path / "parallel.jsonl")
+    config = SynthConfig(timeout_s=60, snapshot_state=False)
+    with SynthesisSession(
+        dataclasses.replace(config, trace_path=serial_path)
+    ) as session:
+        serial = session.run("S5")
+    with SynthesisSession(
+        dataclasses.replace(config, trace_path=parallel_path)
+    ) as session:
+        parallel = session.run("S5", parallel=2)
+    assert parallel.success and serial.success
+    assert parallel.program == serial.program
+    assert parallel.stats.parallel_tasks > 0
+    assert _span_multiset(parallel_path) == _span_multiset(serial_path)
+
+    # Worker spans really crossed the process boundary: the merged trace
+    # carries more than one worker tag.
+    from repro.obs.tool import load_trace
+
+    _, events = load_trace(parallel_path)
+    assert len({e["worker"] for e in events}) > 1
+
+    # Merged metric totals equal the serial run's for every exported stats
+    # field (the phase histograms measure wall time, which legitimately
+    # differs; PARALLEL_ONLY counters are dispatch bookkeeping).
+    assert set(parallel.metrics["stats"]) == set(serial.metrics["stats"])
+    for prefix, fields in serial.metrics["stats"].items():
+        for name, value in fields.items():
+            if name in PARALLEL_ONLY:
+                continue
+            assert parallel.metrics["stats"][prefix][name] == value, (
+                f"{prefix}.{name}"
+            )
+    assert set(parallel.metrics["phases"]) >= set(serial.metrics["phases"])
+
+
+# ---------------------------------------------------------------------------
 # Fork hygiene
 # ---------------------------------------------------------------------------
 
